@@ -1,0 +1,84 @@
+// Ablation: shared-buffer admission policy. Compares dynamic-threshold
+// sharing (various alpha) against static per-port partitioning under the
+// bursty Web-rack workload of Figure 15, reporting drops and occupancy.
+// Static partitioning is emulated with a small alpha (each queue is capped
+// near buffer/ports regardless of what the rest of the switch is doing).
+#include <cstdio>
+
+#include "common.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+struct PolicyResult {
+  double median_occ{0};
+  double max_occ{0};
+  std::int64_t drops{0};
+  std::int64_t tx_packets{0};
+};
+
+PolicyResult run_policy(const topology::Fleet& fleet, double alpha,
+                        core::DataSize buffer_total) {
+  workload::RackSimConfig cfg =
+      workload::default_rack_config(fleet, core::HostRole::kWeb, core::Duration::seconds(4));
+  cfg.mirror_whole_rack = false;
+  cfg.background_rate_scale = 1.0;
+  cfg.sample_buffer = true;
+  cfg.capture_memory_bytes = 64;
+  cfg.seed = 99;
+  cfg.rsw.buffer_total = buffer_total;
+  cfg.rsw.dt_alpha = alpha;
+
+  workload::RackSimulation sim{fleet, cfg};
+  const auto result = sim.run();
+
+  PolicyResult out;
+  core::Cdf medians;
+  for (const auto& s : result.buffer_seconds) {
+    medians.add(s.median_fraction);
+    out.max_occ = std::max(out.max_occ, s.max_fraction);
+  }
+  out.median_occ = medians.median();
+  out.drops = result.uplink.dropped_packets + result.downlinks.dropped_packets;
+  out.tx_packets = result.uplink.tx_packets + result.downlinks.tx_packets;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: shared-buffer admission policy (DT alpha sweep)",
+                "Section 6.3's buffer-tuning discussion");
+  const topology::Fleet fleet = workload::build_rack_experiment_fleet();
+  const core::DataSize buffer = core::DataSize::kilobytes(512);
+
+  std::printf("\nWeb rack, %s shared buffer, 4-s window:\n", buffer.to_string().c_str());
+  std::printf("%-26s  %12s  %9s  %9s  %12s\n", "policy", "median.occ", "max.occ", "drops",
+              "drop rate");
+  const struct {
+    const char* name;
+    double alpha;
+  } kPolicies[] = {
+      {"static partition (a=0.06)", 0.0625},  // ~buffer/16 per port
+      {"conservative DT (a=0.5)", 0.5},
+      {"standard DT (a=1)", 1.0},
+      {"aggressive DT (a=2)", 2.0},
+      {"unrestricted (a=16)", 16.0},
+  };
+  for (const auto& p : kPolicies) {
+    const PolicyResult r = run_policy(fleet, p.alpha, buffer);
+    std::printf("%-26s  %12.4f  %9.3f  %9lld  %11.4f%%\n", p.name, r.median_occ, r.max_occ,
+                static_cast<long long>(r.drops),
+                r.tx_packets > 0
+                    ? static_cast<double>(r.drops) /
+                          static_cast<double>(r.drops + r.tx_packets) * 100.0
+                    : 0.0);
+  }
+  std::printf(
+      "\nExpected: static partitioning drops bursts that dynamic sharing\n"
+      "absorbs; very aggressive sharing lets one port starve the rest\n"
+      "(higher occupancy without fewer drops). The paper's call for careful\n"
+      "buffer tuning (§6.3) is this trade-off.\n");
+  return 0;
+}

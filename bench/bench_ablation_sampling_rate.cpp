@@ -1,0 +1,74 @@
+// Ablation: Fbflow sampling-rate sweep. Is 1:30,000 sampling sufficient to
+// recover the Table 3 locality matrix? Sweep rates from 1:100 to 1:1M and
+// report the matrix error vs ground truth (unsampled flow records).
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/monitoring/fbflow.h"
+#include "fbdcsim/workload/fleet_flows.h"
+
+using namespace fbdcsim;
+
+int main() {
+  bench::banner("Ablation: Fbflow sampling-rate sweep vs locality-matrix fidelity",
+                "Section 3.3.1 methodology validation");
+
+  topology::StandardFleetConfig fleet_cfg;
+  fleet_cfg.sites = 2;
+  fleet_cfg.datacenters_per_site = 1;
+  fleet_cfg.frontend_clusters = 2;
+  fleet_cfg.cache_clusters = 1;
+  fleet_cfg.hadoop_clusters = 2;
+  fleet_cfg.database_clusters = 1;
+  fleet_cfg.service_clusters = 1;
+  fleet_cfg.racks_per_cluster = 12;
+  fleet_cfg.hosts_per_rack = 6;
+  fleet_cfg.frontend_web_racks = 8;
+  fleet_cfg.frontend_cache_racks = 2;
+  fleet_cfg.frontend_multifeed_racks = 1;
+  const topology::Fleet fleet = topology::build_standard_fleet(fleet_cfg);
+  workload::FleetGenConfig cfg;
+  cfg.horizon = core::Duration::hours(2);
+  cfg.epoch = core::Duration::minutes(30);
+  cfg.rate_scale = 0.01;  // bounds the 1:100 sweep point's sample volume
+  cfg.seed = 33;
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+
+  // Ground truth locality shares from the raw flow records.
+  double truth_bytes[core::kNumLocalities] = {};
+  double truth_total = 0.0;
+  std::vector<core::FlowRecord> flows;
+  gen.generate([&](const core::FlowRecord& f) {
+    const auto loc = fleet.locality(f.src_host, f.dst_host);
+    truth_bytes[static_cast<int>(loc)] += static_cast<double>(f.bytes.count_bytes());
+    truth_total += static_cast<double>(f.bytes.count_bytes());
+    flows.push_back(f);
+  });
+  std::printf("flows: %zu; ground-truth locality %%: %.1f / %.1f / %.1f / %.1f\n\n",
+              flows.size(), truth_bytes[0] / truth_total * 100,
+              truth_bytes[1] / truth_total * 100, truth_bytes[2] / truth_total * 100,
+              truth_bytes[3] / truth_total * 100);
+
+  std::printf("%-10s  %10s  %8s %8s %8s %8s  %12s\n", "rate", "samples", "rack%", "clus%",
+              "dc%", "inter%", "max.abs.err");
+  for (const std::int64_t rate : {100LL, 1'000LL, 10'000LL, 30'000LL, 100'000LL, 1'000'000LL}) {
+    monitoring::FbflowPipeline fbflow{fleet, rate, core::RngStream{77}};
+    for (const auto& f : flows) fbflow.offer_flow(f);
+    const auto pct = fbflow.scuba().locality_bytes(rate).percentages();
+    double max_err = 0.0;
+    for (int i = 0; i < core::kNumLocalities; ++i) {
+      max_err = std::max(max_err,
+                         std::abs(pct[static_cast<std::size_t>(i)] -
+                                  truth_bytes[i] / truth_total * 100.0));
+    }
+    std::printf("1:%-8lld  %10zu  %8.1f %8.1f %8.1f %8.1f  %11.2fpp\n",
+                static_cast<long long>(rate), fbflow.scuba().size(), pct[0], pct[1], pct[2],
+                pct[3], max_err);
+  }
+  std::printf(
+      "\nExpected: the matrix is stable to within ~1 percentage point at\n"
+      "1:30,000 (the production rate) on this horizon; only extreme rates\n"
+      "(1:1M on a small fleet) lose fidelity.\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Anchor scorecard: every quantitative claim the paper states in prose,
+// checked automatically against freshly captured traces. This is the
+// one-shot regression harness for the whole reproduction — run it after
+// touching any service model.
+//
+// Each anchor cites the paper section it comes from, the band we accept
+// (paper value with a generous tolerance — we reproduce shapes, not
+// testbeds), and the measured value. Exit code is the number of failed
+// anchors, so CI can gate on it.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "fbdcsim/analysis/burstiness.h"
+#include "fbdcsim/analysis/concurrency.h"
+#include "fbdcsim/analysis/heavy_hitters.h"
+#include "fbdcsim/analysis/locality.h"
+#include "fbdcsim/analysis/packet_stats.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+struct Anchor {
+  std::string section;
+  std::string claim;
+  double lo;
+  double hi;
+  double measured;
+
+  [[nodiscard]] bool pass() const { return measured >= lo && measured <= hi; }
+};
+
+std::vector<Anchor> anchors;
+
+void check(std::string section, std::string claim, double lo, double hi, double measured) {
+  anchors.push_back(Anchor{std::move(section), std::move(claim), lo, hi, measured});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Anchor scorecard: the paper's prose claims, checked automatically",
+                "Sections 4-6");
+  bench::BenchEnv env;
+  const auto& resolver = env.resolver();
+
+  const bench::RoleTrace web = env.capture(core::HostRole::kWeb, 8);
+  const bench::RoleTrace cache_f = env.capture(core::HostRole::kCacheFollower, 8);
+  const bench::RoleTrace cache_l = env.capture(core::HostRole::kCacheLeader, 8);
+  const bench::RoleTrace hadoop = env.capture(core::HostRole::kHadoop, 12);
+
+  // ----- §3.2 / Table 2 -----
+  {
+    const auto shares = analysis::outbound_role_shares(web.result.trace, web.self, resolver);
+    for (const auto& s : shares) {
+      if (s.role == core::HostRole::kCacheFollower) {
+        check("T2", "Web outbound to cache ~63.1%", 48, 78, s.percent);
+      }
+      if (s.role == core::HostRole::kMultifeed) {
+        check("T2", "Web outbound to Multifeed ~15.2%", 8, 25, s.percent);
+      }
+    }
+    const auto hshares =
+        analysis::outbound_role_shares(hadoop.result.trace, hadoop.self, resolver);
+    for (const auto& s : hshares) {
+      if (s.role == core::HostRole::kHadoop) {
+        check("T2", "Hadoop outbound to Hadoop ~99.8%", 98, 100, s.percent);
+      }
+    }
+  }
+
+  // ----- §4.2 locality -----
+  {
+    const auto wl = analysis::locality_shares(web.result.trace, web.self, resolver);
+    check("4.2", "Web traffic mostly intra-cluster (~68-86%)", 55, 95, wl[1]);
+    check("4.2", "Web rack-local traffic minimal", 0, 8, wl[0]);
+    const auto hl = analysis::locality_shares(hadoop.result.trace, hadoop.self, resolver);
+    check("4.2", "Busy Hadoop node ~75.7% rack-local", 50, 90, hl[0]);
+    check("4.2", "Hadoop stays in cluster (99.8%)", 97, 100, hl[0] + hl[1]);
+    const auto cl = analysis::locality_shares(cache_l.result.trace, cache_l.self, resolver);
+    check("4.2", "Cache leader mostly DC + inter-DC", 60, 100, cl[2] + cl[3]);
+  }
+
+  // ----- §4.2 dispersion -----
+  {
+    std::set<std::uint32_t> web_peers;
+    const auto cluster = env.fleet().host(cache_f.host).cluster;
+    for (const auto& pkt : cache_f.result.trace) {
+      if (pkt.tuple.src_ip != cache_f.self) continue;
+      const auto host = resolver.host_of(pkt.tuple.dst_ip);
+      if (host.is_valid() && env.fleet().host(host).role == core::HostRole::kWeb &&
+          env.fleet().host(host).cluster == cluster) {
+        web_peers.insert(host.value());
+      }
+    }
+    const auto total_web =
+        env.fleet().hosts_with_role_in_cluster(core::HostRole::kWeb, cluster).size();
+    check("4.2", "Cache follower reaches >90% of cluster's Web servers", 90, 100,
+          100.0 * static_cast<double>(web_peers.size()) / static_cast<double>(total_web));
+  }
+
+  // ----- §5.1 flows -----
+  {
+    const auto flows = analysis::FlowTable::outbound_flows(hadoop.result.trace, hadoop.self);
+    core::Cdf sizes;
+    for (const auto& f : flows) sizes.add(static_cast<double>(f.payload_bytes));
+    check("5.1", "Hadoop: ~70% of flows < 10 KB", 55, 95,
+          sizes.fraction_at_or_below(10'000) * 100.0);
+    check("5.1", "Hadoop: <5% of flows > 1 MB", 0, 5,
+          (1.0 - sizes.fraction_at_or_below(1'000'000)) * 100.0);
+    check("5.1", "Hadoop median flow < 1 KB", 0, 1000, sizes.median());
+
+    const auto duty = analysis::flow_duty_cycles(cache_f.result.trace, cache_f.self);
+    check("5.1", "Cache flows internally bursty (median duty < 25%)", 0, 25,
+          duty.median() * 100.0);
+  }
+
+  // ----- §5.2 stability -----
+  {
+    const auto rates = analysis::per_rack_second_rates(
+        cache_f.result.trace, cache_f.self, resolver, cache_f.result.capture_start,
+        cache_f.result.capture_end - cache_f.result.capture_start);
+    const auto stability = analysis::rate_stability(rates);
+    check("5.2", "Cache per-rack rates within 2x of median ~90% of time", 80, 100,
+          stability.within_2x_of_median * 100.0);
+  }
+
+  // ----- §5.3 heavy hitters -----
+  {
+    const core::Duration span = cache_f.result.capture_end - cache_f.result.capture_start;
+    const auto flow_binned = analysis::bin_outbound(
+        cache_f.result.trace, cache_f.self, resolver, analysis::AggLevel::kFlow,
+        core::Duration::millis(10), cache_f.result.capture_start, span);
+    core::Cdf flow_persist;
+    flow_persist.add_all(analysis::hh_persistence(flow_binned));
+    check("5.3", "Cache 5-tuple HH persistence low (median <= ~20%)", 0, 25,
+          flow_persist.median());
+    const auto rack_binned = analysis::bin_outbound(
+        cache_f.result.trace, cache_f.self, resolver, analysis::AggLevel::kRack,
+        core::Duration::millis(100), cache_f.result.capture_start, span);
+    core::Cdf rack_persist;
+    rack_persist.add_all(analysis::hh_persistence(rack_binned));
+    check("5.3", "Cache rack-level HH persistence >40% @100ms", 35, 100,
+          rack_persist.median());
+  }
+
+  // ----- §6.1 packets -----
+  {
+    check("6.1", "Web median packet < 200 B", 0, 230,
+          analysis::packet_size_cdf(web.result.trace).median());
+    check("6.1", "Cache median packet < 200 B", 0, 230,
+          analysis::packet_size_cdf(cache_f.result.trace).median());
+    const auto hcdf = analysis::packet_size_cdf(hadoop.result.trace);
+    check("6.1", "Hadoop bimodal: ACK + MTU modes cover most packets", 70, 100,
+          (hcdf.fraction_at_or_below(64.0) + 1.0 - hcdf.fraction_at_or_below(1500.0)) * 100.0);
+  }
+
+  // ----- §6.2 arrivals -----
+  {
+    check("6.2", "Hadoop arrivals continuous at 15 ms (idle bins ~0%)", 0, 10,
+          analysis::idle_bin_fraction(hadoop.result.trace, core::Duration::millis(15)) * 100.0);
+    const auto per_dest = analysis::per_destination_idle_fractions(
+        hadoop.result.trace, hadoop.self, core::Duration::millis(15));
+    check("6.2", "Per-destination ON/OFF re-emerges (median idle > 50%)", 50, 100,
+          per_dest.median() * 100.0);
+    const auto syn = analysis::syn_interarrival_cdf(web.result.trace, web.self);
+    check("6.2", "Web SYN interarrival median ~2 ms", 0.5, 5.0, syn.median() / 1000.0);
+    const auto csyn = analysis::syn_interarrival_cdf(cache_f.result.trace, cache_f.self);
+    check("6.2", "Cache follower SYN interarrival median ~8 ms", 3.0, 16.0,
+          csyn.median() / 1000.0);
+  }
+
+  // ----- §6.4 concurrency -----
+  {
+    const auto wc = analysis::concurrent_racks(web.result.trace, web.self, resolver);
+    check("6.4", "Web server talks to 10-125 racks per 5 ms (median ~50)", 15, 125,
+          wc.all.median());
+    const auto cc = analysis::concurrent_racks(cache_f.result.trace, cache_f.self, resolver);
+    check("6.4", "Cache follower talks to 225-300 racks per 5 ms", 150, 350,
+          cc.all.median());
+    const auto hc = analysis::concurrent_connections(hadoop.result.trace, hadoop.self);
+    check("6.4", "Hadoop ~25 concurrent connections per 5 ms", 8, 60, hc.tuples.median());
+    const auto cf_conns =
+        analysis::concurrent_connections(cache_f.result.trace, cache_f.self);
+    check("6.4", "Cache holds 100s-1000s of concurrent connections", 100, 5000,
+          cf_conns.tuples.median());
+    const auto hh =
+        analysis::concurrent_heavy_hitter_racks(cache_f.result.trace, cache_f.self, resolver);
+    check("6.4", "Cache follower ~29 HH racks per 5 ms (tail ~50)", 10, 60, hh.all.median());
+  }
+
+  // ----- report -----
+  int failed = 0;
+  std::printf("\n%-5s %-62s %12s %18s\n", "sec", "claim", "measured", "accepted band");
+  for (const Anchor& a : anchors) {
+    if (!a.pass()) ++failed;
+    std::printf("%-5s %-62s %12.2f %8.4g-%-8.4g %s\n", a.section.c_str(), a.claim.c_str(),
+                a.measured, a.lo, a.hi, a.pass() ? "PASS" : "FAIL");
+  }
+  std::printf("\n%zu anchors, %d failed\n", anchors.size(), failed);
+  return failed;
+}

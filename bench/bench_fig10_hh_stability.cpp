@@ -1,0 +1,62 @@
+// Figure 10: heavy-hitter stability between consecutive intervals, as a
+// function of aggregation level (flow / host / rack) and interval length
+// (1 / 10 / 100 ms), for cache followers, cache leaders, and Web servers.
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/analysis/heavy_hitters.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+void print_panel(const char* name, const bench::RoleTrace& trace,
+                 const analysis::AddrResolver& resolver) {
+  std::printf("\n-- %s: %% of an interval's heavy hitters still heavy in the next --\n", name);
+  std::printf("%-6s %-7s  %8s %8s %8s %8s\n", "agg", "bin", "p10", "p50", "p90", "samples");
+  const struct {
+    const char* name;
+    analysis::AggLevel level;
+  } kLevels[] = {{"flows", analysis::AggLevel::kFlow},
+                 {"hosts", analysis::AggLevel::kHost},
+                 {"racks", analysis::AggLevel::kRack}};
+  const struct {
+    const char* name;
+    core::Duration bin;
+  } kBins[] = {{"1-ms", core::Duration::millis(1)},
+               {"10-ms", core::Duration::millis(10)},
+               {"100-ms", core::Duration::millis(100)}};
+
+  for (const auto& level : kLevels) {
+    for (const auto& bin : kBins) {
+      const auto binned = analysis::bin_outbound(
+          trace.result.trace, trace.self, resolver, level.level, bin.bin,
+          trace.result.capture_start, trace.result.capture_end - trace.result.capture_start);
+      const auto persist = analysis::hh_persistence(binned);
+      core::Cdf cdf;
+      cdf.add_all(persist);
+      std::printf("%-6s %-7s  %8.1f %8.1f %8.1f %8zu\n", level.name, bin.name, cdf.p10(),
+                  cdf.median(), cdf.p90(), cdf.size());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 10: heavy-hitter persistence across intervals",
+                "Figure 10, Section 5.3");
+  bench::BenchEnv env;
+
+  print_panel("(a) Cache follower", env.capture(core::HostRole::kCacheFollower, 10),
+              env.resolver());
+  print_panel("(b) Cache leader", env.capture(core::HostRole::kCacheLeader, 10),
+              env.resolver());
+  print_panel("(c) Web server", env.capture(core::HostRole::kWeb, 10), env.resolver());
+
+  std::printf(
+      "\nPaper Figure 10 shape: 5-tuple heavy hitters persist <~15%% in the\n"
+      "median; host-level <~20%% (Web somewhat higher); only rack-level\n"
+      "aggregation is stable (cache >40%%, Web ~60%% at 100 ms).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11: intersection between the heavy hitters of each 1/10/100-ms
+// subinterval and those of its enclosing second — the paper's upper bound
+// on how useful second-granularity traffic-engineering predictions can be.
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/analysis/heavy_hitters.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+void print_panel(const char* name, const bench::RoleTrace& trace,
+                 const analysis::AddrResolver& resolver) {
+  std::printf("\n-- %s: %% of subinterval heavy hitters heavy over the enclosing second --\n",
+              name);
+  std::printf("%-6s %-7s  %8s %8s %8s\n", "agg", "bin", "p10", "p50", "p90");
+  const struct {
+    const char* name;
+    analysis::AggLevel level;
+  } kLevels[] = {{"flows", analysis::AggLevel::kFlow},
+                 {"hosts", analysis::AggLevel::kHost},
+                 {"racks", analysis::AggLevel::kRack}};
+  const struct {
+    const char* name;
+    core::Duration bin;
+  } kBins[] = {{"1-ms", core::Duration::millis(1)},
+               {"10-ms", core::Duration::millis(10)},
+               {"100-ms", core::Duration::millis(100)}};
+
+  const core::Duration span = trace.result.capture_end - trace.result.capture_start;
+  for (const auto& level : kLevels) {
+    const auto per_second = analysis::bin_outbound(trace.result.trace, trace.self, resolver,
+                                                   level.level, core::Duration::seconds(1),
+                                                   trace.result.capture_start, span);
+    for (const auto& bin : kBins) {
+      const auto sub =
+          analysis::bin_outbound(trace.result.trace, trace.self, resolver, level.level,
+                                 bin.bin, trace.result.capture_start, span);
+      const auto inter = analysis::hh_second_intersection(sub, per_second);
+      core::Cdf cdf;
+      cdf.add_all(inter);
+      std::printf("%-6s %-7s  %8.1f %8.1f %8.1f\n", level.name, bin.name, cdf.p10(),
+                  cdf.median(), cdf.p90());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 11: heavy hitters of subintervals vs enclosing second",
+                "Figure 11, Section 5.3");
+  bench::BenchEnv env;
+
+  print_panel("(a) Web server", env.capture(core::HostRole::kWeb, 10), env.resolver());
+  print_panel("(b) Cache follower", env.capture(core::HostRole::kCacheFollower, 10),
+              env.resolver());
+
+  std::printf(
+      "\nPaper Figure 11 shape: 5-tuple predictive power poor (<10-15%%);\n"
+      "rack-level much better (majority overlap at 100 ms); host-level useful\n"
+      "mainly for Web servers.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12: packet size distribution per host type. Hadoop is bimodal
+// (ACK or MTU); every other service has a small median (<200 B) despite
+// 10-Gbps links — so packet *rates* stay high even at low utilization
+// (Section 6.1).
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/analysis/packet_stats.h"
+
+using namespace fbdcsim;
+
+int main() {
+  bench::banner("Figure 12: packet size distribution by host type",
+                "Figure 12, Section 6.1");
+  bench::BenchEnv env;
+
+  const struct {
+    const char* name;
+    core::HostRole role;
+  } kRoles[] = {
+      {"Web Server", core::HostRole::kWeb},
+      {"Hadoop", core::HostRole::kHadoop},
+      {"Cache Leader", core::HostRole::kCacheLeader},
+      {"Cache Follower", core::HostRole::kCacheFollower},
+  };
+
+  std::vector<core::Cdf> cdfs;
+  std::vector<std::string> names;
+  for (const auto& r : kRoles) {
+    const bench::RoleTrace trace = env.capture(r.role, 8);
+    cdfs.push_back(analysis::packet_size_cdf(trace.result.trace));
+    names.emplace_back(r.name);
+  }
+  std::vector<const core::Cdf*> ptrs;
+  for (const auto& c : cdfs) ptrs.push_back(&c);
+  bench::print_cdf_table("\non-wire frame bytes", names, ptrs, 1.0, "B");
+
+  std::printf("\nmedians: ");
+  for (std::size_t i = 0; i < cdfs.size(); ++i) {
+    std::printf("%s %.0fB  ", names[i].c_str(), cdfs[i].median());
+  }
+  // The packet-rate observation of §6.1: a cache server at 10% utilization
+  // with ~175 B median packets generates ~85% of the packet rate of a fully
+  // utilized link with MTU packets.
+  const double cache_median = cdfs[3].median();
+  std::printf("\npacket-rate amplification at cache median size: %.0f%% of MTU pps at 10%% util\n",
+              0.10 * 1514.0 / cache_median * 100.0);
+  std::printf(
+      "\nPaper Figure 12 shape: Hadoop bimodal at ACK/MTU; all other services\n"
+      "median <200 B with only 5-10%% of packets at full MTU.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 15: correlating RSW shared-buffer occupancy (sampled every 10 us),
+// link utilization, and egress drops over a diurnal day, for a Web-server
+// rack and a Cache rack.
+//
+// A full 24-hour packet simulation is as intractable for us as it was for
+// the paper's authors to capture (their buffer data comes from FBOSS
+// counters, not traces). We reproduce the day by simulating a packet-level
+// window at each hour with the service rates modulated by the diurnal
+// profile of Section 4.1 (~2x peak-to-trough), which preserves exactly what
+// the figure demonstrates: standing buffer occupancy at ~1% utilization,
+// diurnal correlation of occupancy/utilization/drops, and the Web rack
+// running much closer to the buffer limit than the Cache rack.
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/core/distributions.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+struct HourStats {
+  double median_occ{0};
+  double max_occ{0};
+  double uplink_util{0};
+  std::int64_t drops{0};
+};
+
+HourStats run_hour(const topology::Fleet& fleet, core::HostRole role, double diurnal_factor,
+                   int hour) {
+  workload::RackSimConfig cfg =
+      workload::default_rack_config(fleet, role, core::Duration::seconds(2));
+  cfg.mirror_whole_rack = false;             // no trace needed, just the switch
+  cfg.background_rate_scale = 1.0;           // whole rack at full (scaled) rate
+  cfg.sample_buffer = true;
+  cfg.capture_memory_bytes = 64;             // discard the trace (not used)
+  cfg.seed = 1000 + static_cast<std::uint64_t>(hour);
+  cfg.mix = workload::scale_rates(cfg.mix, diurnal_factor);
+  // The shared pool available to dynamic sharing after per-port
+  // reservations — commodity ToR chips reserve most of their ~12 MB for
+  // guaranteed per-queue minimums, leaving a small contended shared pool,
+  // which is the quantity FBOSS's occupancy counters watch.
+  cfg.rsw.buffer_total = core::DataSize::kilobytes(32);
+  cfg.rsw.dt_alpha = 2.0;
+
+  workload::RackSimulation sim{fleet, cfg};
+  const auto result = sim.run();
+
+  HourStats out;
+  core::Cdf medians;
+  for (const auto& s : result.buffer_seconds) {
+    medians.add(s.median_fraction);
+    out.max_occ = std::max(out.max_occ, s.max_fraction);
+  }
+  out.median_occ = medians.median();
+  const double seconds = (result.capture_end.count_nanos()) / 1e9;
+  const double uplink_capacity_bytes =
+      4.0 * 10e9 / 8.0 * seconds;  // 4 x 10 Gbps uplinks over the whole run
+  out.uplink_util = static_cast<double>(result.uplink.tx_bytes) / uplink_capacity_bytes;
+  out.drops = result.uplink.dropped_packets + result.downlinks.dropped_packets;
+  return out;
+}
+
+void run_rack(const char* name, const topology::Fleet& fleet, core::HostRole role) {
+  core::DiurnalProfile diurnal{{.peak_to_trough = 2.0, .peak_hour = 20.0,
+                                .weekend_factor = 1.0}};
+  std::printf("\n-- %s rack: one 2-s packet-level window per hour --\n", name);
+  std::printf("%4s  %8s  %12s  %9s  %9s  %7s\n", "hour", "diurnal", "median.occ",
+              "max.occ", "util", "drops");
+  for (int hour = 0; hour < 24; ++hour) {
+    const double factor = diurnal.factor_at(core::Duration::hours(hour));
+    const HourStats s = run_hour(fleet, role, factor, hour);
+    std::printf("%4d  %8.2f  %12.4f  %9.3f  %8.2f%%  %7lld\n", hour, factor, s.median_occ,
+                s.max_occ, s.uplink_util * 100.0, static_cast<long long>(s.drops));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 15: buffer occupancy, utilization, and drops over a day",
+                "Figure 15, Section 6.3");
+  const topology::Fleet fleet = workload::build_rack_experiment_fleet();
+
+  run_rack("Web-server", fleet, core::HostRole::kWeb);
+  run_rack("Cache", fleet, core::HostRole::kCacheFollower);
+
+  std::printf(
+      "\nPaper Figure 15 shape: Web rack max occupancy approaches the\n"
+      "configured limit for most of the day despite ~1%% utilization; all\n"
+      "three series share the diurnal swing; the Cache rack has higher\n"
+      "utilization but lower occupancy and drops.\n");
+  return 0;
+}

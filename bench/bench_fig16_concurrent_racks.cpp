@@ -1,0 +1,57 @@
+// Figure 16: concurrent (same 5-ms window) destination racks per host, by
+// destination locality, for Web servers, cache followers, and cache
+// leaders — plus the §6.4 text numbers on concurrent 5-tuple connections
+// (100s-1000s for Web/cache, ~25 for Hadoop; host-level grouping shrinks
+// counts by at most 2x).
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/analysis/concurrency.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+void print_panel(const char* name, const bench::RoleTrace& trace,
+                 const analysis::AddrResolver& resolver) {
+  const auto cdfs = analysis::concurrent_racks(trace.result.trace, trace.self, resolver);
+  std::printf("\n-- %s: destination racks per 5-ms window --\n", name);
+  bench::print_cdf_table("racks",
+                         {"Intra-Cluster", "Intra-DC", "Inter-DC", "All"},
+                         {&cdfs.intra_cluster, &cdfs.intra_datacenter,
+                          &cdfs.inter_datacenter, &cdfs.all});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 16: concurrent (5-ms) rack-level flows", "Figure 16, Section 6.4");
+  bench::BenchEnv env;
+
+  const bench::RoleTrace web = env.capture(core::HostRole::kWeb, 8);
+  const bench::RoleTrace cache_f = env.capture(core::HostRole::kCacheFollower, 8);
+  const bench::RoleTrace cache_l = env.capture(core::HostRole::kCacheLeader, 8);
+  const bench::RoleTrace hadoop = env.capture(core::HostRole::kHadoop, 8);
+
+  print_panel("(a) Web server", web, env.resolver());
+  print_panel("(b) Cache follower", cache_f, env.resolver());
+  print_panel("(c) Cache leader", cache_l, env.resolver());
+
+  std::printf("\n-- Section 6.4 text numbers: concurrent connections per 5-ms window --\n");
+  std::printf("%-15s  %10s  %10s  %12s\n", "host type", "tuples.p50", "hosts.p50",
+              "hosts/tuples");
+  for (const auto* t : {&web, &cache_f, &cache_l, &hadoop}) {
+    const auto conns = analysis::concurrent_connections(t->result.trace, t->self);
+    std::printf("%-15s  %10.0f  %10.0f  %12.2f\n", core::to_string(t->role),
+                conns.tuples.median(), conns.hosts.median(),
+                conns.tuples.median() > 0 ? conns.hosts.median() / conns.tuples.median()
+                                          : 0.0);
+  }
+
+  std::printf(
+      "\nPaper Figure 16: cache followers touch 225-300 racks per 5 ms,\n"
+      "leaders 175-350 (median ~250), Web servers 10-125 (median ~50);\n"
+      "Web/cache hold 100s-1000s of concurrent connections, Hadoop ~25;\n"
+      "grouping by destination host reduces counts by at most 2x.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 7: flow duration distributions by destination locality for Web
+// servers, cache followers, and Hadoop nodes. Pooled cache connections
+// outlive the capture (paper: >40% of cache-l flows exceed the 10-minute
+// trace); Hadoop flows last well under a second.
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/analysis/locality.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+void print_panel(const char* name, const bench::RoleTrace& trace,
+                 const analysis::AddrResolver& resolver, double capture_ms) {
+  const auto flows = analysis::FlowTable::outbound_flows(trace.result.trace, trace.self);
+  const auto buckets = analysis::flows_by_locality(flows, resolver);
+
+  core::Cdf per_loc[core::kNumLocalities];
+  for (int i = 0; i < core::kNumLocalities; ++i) {
+    per_loc[i].add_all(buckets.duration_ms[i]);
+  }
+  core::Cdf all;
+  all.add_all(buckets.all_duration_ms);
+
+  std::printf("\n-- %s: flow duration by destination locality --\n", name);
+  bench::print_cdf_table(
+      "flow duration (ms)",
+      {"Intra-Rack", "Intra-Cluster", "Intra-DC", "Inter-DC", "All"},
+      {&per_loc[0], &per_loc[1], &per_loc[2], &per_loc[3], &all}, 1.0, "ms");
+  std::printf("flows <100 ms: %.0f%%; flows spanning >=90%% of the capture: %.0f%%\n",
+              all.fraction_at_or_below(100.0) * 100.0,
+              (1.0 - all.fraction_at_or_below(capture_ms * 0.9)) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 7: flow duration distribution by destination locality",
+                "Figure 7, Section 5.1");
+  bench::BenchEnv env;
+  const std::int64_t seconds = 15;
+  const double capture_ms = static_cast<double>(bench::BenchEnv::effective_seconds(seconds)) * 1e3;
+
+  print_panel("(a) Web server", env.capture(core::HostRole::kWeb, seconds), env.resolver(),
+              capture_ms);
+  print_panel("(b) Cache follower", env.capture(core::HostRole::kCacheFollower, seconds),
+              env.resolver(), capture_ms);
+  print_panel("(c) Hadoop", env.capture(core::HostRole::kHadoop, seconds), env.resolver(),
+              capture_ms);
+
+  std::printf(
+      "\nPaper Figure 7 shape: Hadoop flows short (median <1 s, almost none\n"
+      "exceed the capture); cache flows long-lived due to connection pooling\n"
+      "(many span the whole capture); Web in between.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Section 4.1: link utilization by level of the 4-post hierarchy, from the
+// fleet flow generator routed over the Clos interconnect with per-minute
+// SNMP-style byte counters.
+//
+// Paper targets: access links average <1% (1-minute), 99% of links <10%;
+// RSW->CSW median 10-20% with the busiest 5% at 23-46%; utilization rises
+// again at CSW->FC; Hadoop clusters ~5x more loaded than Frontend at the
+// edge, with the gap narrowing (~3x) at the aggregation level.
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/monitoring/link_stats.h"
+#include "fbdcsim/workload/fleet_flows.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+void print_level(const char* name, std::vector<double> utils) {
+  if (utils.empty()) {
+    std::printf("%-12s  (no links)\n", name);
+    return;
+  }
+  double mean = 0.0;
+  for (const double u : utils) mean += u;
+  mean /= static_cast<double>(utils.size());
+  core::Cdf cdf{std::move(utils)};
+  std::printf("%-12s  mean %6.2f%%  p50 %6.2f%%  p95 %6.2f%%  p99 %6.2f%%  max %6.2f%%\n",
+              name, mean * 100, cdf.median() * 100, cdf.quantile(0.95) * 100,
+              cdf.p99() * 100, cdf.max() * 100);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Section 4.1: link utilization across the hierarchy", "Section 4.1");
+
+  // Production-depth racks (~32 hosts) so the RSW->CSW oversubscription is
+  // realistic: 32 hosts' edge traffic funnels into four 10G uplinks, which
+  // is what pushes aggregation-layer utilization to the paper's 10-20%
+  // medians while edge links idle near 1%.
+  topology::StandardFleetConfig fleet_cfg;
+  fleet_cfg.sites = 2;
+  fleet_cfg.datacenters_per_site = 2;
+  fleet_cfg.frontend_clusters = 2;
+  fleet_cfg.cache_clusters = 1;
+  fleet_cfg.hadoop_clusters = 3;
+  fleet_cfg.database_clusters = 2;
+  fleet_cfg.service_clusters = 3;
+  fleet_cfg.racks_per_cluster = 16;
+  fleet_cfg.cache_racks_per_cluster = 8;
+  fleet_cfg.hosts_per_rack = 32;
+  fleet_cfg.frontend_web_racks = 12;
+  fleet_cfg.frontend_cache_racks = 3;
+  fleet_cfg.frontend_multifeed_racks = 1;
+  const topology::Fleet fleet = topology::build_standard_fleet(fleet_cfg);
+  const topology::FourPostConfig net_cfg;
+  const topology::Network net = topology::FourPostBuilder{net_cfg}.build(fleet);
+  const topology::Router router{fleet, net};
+  std::printf("fleet: %zu hosts, %zu links\n", fleet.num_hosts(), net.links().size());
+
+  workload::FleetGenConfig cfg;
+  cfg.horizon = core::Duration::hours(2);
+  cfg.epoch = core::Duration::minutes(15);
+  cfg.seed = 7;
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+
+  monitoring::LinkStats stats{net, cfg.horizon};
+  std::int64_t flows = 0;
+  gen.generate([&](const core::FlowRecord& flow) {
+    const auto path = router.route(flow.src_host, flow.dst_host, flow.tuple);
+    stats.add_path(path, flow.start, flow.duration, flow.bytes);
+    ++flows;
+  });
+  std::printf("flows routed: %lld\n\n", static_cast<long long>(flows));
+
+  std::printf("per-minute link utilization by hierarchy level:\n");
+  const auto level_of = [&](const topology::Link& link) -> int {
+    using topology::NodeRef;
+    using topology::SwitchKind;
+    if (link.from.kind == NodeRef::Kind::kHost) return 0;  // access up
+    const auto& sw = net.sw(core::SwitchId{link.from.index});
+    if (sw.kind == SwitchKind::kRsw && link.to.kind != NodeRef::Kind::kHost) return 1;
+    if (sw.kind == SwitchKind::kCsw) {
+      const auto& to_sw = net.sw(core::SwitchId{link.to.index});
+      if (to_sw.kind == SwitchKind::kFc) return 2;
+    }
+    return -1;
+  };
+
+  print_level("host->RSW", stats.utilizations_where(
+                               [&](const topology::Link& l) { return level_of(l) == 0; }));
+  print_level("RSW->CSW", stats.utilizations_where(
+                              [&](const topology::Link& l) { return level_of(l) == 1; }));
+  print_level("CSW->FC", stats.utilizations_where(
+                             [&](const topology::Link& l) { return level_of(l) == 2; }));
+
+  // Fraction of access links under 10% (paper: 99% of links <10% loaded).
+  const auto access =
+      stats.utilizations_where([&](const topology::Link& l) { return level_of(l) == 0; });
+  std::int64_t under10 = 0;
+  double total_util = 0.0;
+  for (const double u : access) {
+    if (u < 0.10) ++under10;
+    total_util += u;
+  }
+  std::printf("\naccess links: mean %.2f%%; %.1f%% of (link,minute) samples under 10%%\n",
+              total_util / static_cast<double>(access.size()) * 100.0,
+              static_cast<double>(under10) / static_cast<double>(access.size()) * 100.0);
+
+  // Heaviest vs lightest cluster types at the edge (paper: Hadoop ~5x FE).
+  auto mean_edge_util = [&](topology::ClusterType type) {
+    double sum = 0.0;
+    std::int64_t n = 0;
+    for (const topology::Host& h : fleet.hosts()) {
+      if (fleet.cluster(h.cluster).type != type) continue;
+      sum += stats.mean_utilization(net.access_uplink(h.id));
+      ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+  const double hadoop_util = mean_edge_util(topology::ClusterType::kHadoop);
+  const double fe_util = mean_edge_util(topology::ClusterType::kFrontend);
+  std::printf("edge utilization: Hadoop %.3f%% vs Frontend %.3f%% (ratio %.1fx; paper ~5x)\n",
+              hadoop_util * 100.0, fe_util * 100.0,
+              fe_util > 0 ? hadoop_util / fe_util : 0.0);
+  return 0;
+}

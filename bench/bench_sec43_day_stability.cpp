@@ -1,0 +1,100 @@
+// Section 4.3: "Facebook's traffic patterns remain stable day-over-day —
+// unlike the datacenter studied by Delimitrou et al." Generates several
+// days of fleet traffic through Fbflow into Hive-style daily rollups and
+// reports the day-over-day cosine similarity of the cluster-to-cluster
+// demand matrix, for the stable (default) workload and for an unstable
+// variant whose service rates are re-drawn each day.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "fbdcsim/monitoring/rollup.h"
+#include "fbdcsim/workload/fleet_flows.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+constexpr int kDays = 3;
+
+monitoring::HiveRollup run_days(const topology::Fleet& fleet, bool stable) {
+  constexpr std::int64_t kRate = 30'000;
+  monitoring::HiveRollup rollup{fleet.clusters().size(), kRate};
+  core::RngStream day_rng{404};
+
+  for (int day = 0; day < kDays; ++day) {
+    workload::FleetGenConfig cfg;
+    cfg.horizon = core::Duration::hours(24);
+    cfg.epoch = core::Duration::hours(2);
+    cfg.rate_scale = 0.004;
+    cfg.seed = 100 + static_cast<std::uint64_t>(day);  // fresh randomness daily
+    if (!stable) {
+      // Unstable variant: the per-service demand mix is redrawn every day
+      // (as if the application mix itself churned, the behaviour prior
+      // work reported).
+      cfg.mix.web.user_requests_per_sec *= day_rng.uniform(0.1, 10.0);
+      cfg.mix.cache_follower.gets_served_per_sec *= day_rng.uniform(0.1, 10.0);
+      cfg.mix.cache_leader.coherency_msgs_per_sec *= day_rng.uniform(0.1, 10.0);
+      cfg.mix.hadoop.transfers_per_sec_busy *= day_rng.uniform(0.1, 10.0);
+      cfg.mix.service.messages_per_sec *= day_rng.uniform(0.1, 10.0);
+    }
+    const workload::FleetFlowGenerator gen{fleet, cfg};
+    monitoring::FbflowPipeline fbflow{fleet, kRate,
+                                      core::RngStream{500 + static_cast<std::uint64_t>(day)}};
+    gen.generate([&](const core::FlowRecord& flow) {
+      // Shift each day's flows onto its own day of the rollup timeline.
+      core::FlowRecord shifted = flow;
+      shifted.start = flow.start + core::Duration::hours(24) * day;
+      fbflow.offer_flow(shifted);
+    });
+    for (const auto& row : fbflow.scuba().rows()) rollup.add(row);
+  }
+  return rollup;
+}
+
+void report(const char* name, const monitoring::HiveRollup& rollup) {
+  std::printf("\n-- %s --\n", name);
+  for (int a = 0; a < kDays; ++a) {
+    for (int b = a + 1; b < kDays; ++b) {
+      // Cosine similarity of the demand matrix, plus the mean relative
+      // change of its nonzero cells (cosine alone is insensitive to
+      // uniform-ish rescaling of a few dominant cells).
+      const auto ma = rollup.cluster_matrix(a);
+      const auto mb = rollup.cluster_matrix(b);
+      double rel_sum = 0.0;
+      std::int64_t cells = 0;
+      for (std::size_t i = 0; i < ma.size(); ++i) {
+        if (ma[i] <= 0.0 && mb[i] <= 0.0) continue;
+        rel_sum += std::abs(ma[i] - mb[i]) / std::max(ma[i], mb[i]);
+        ++cells;
+      }
+      std::printf(
+          "  day %d vs day %d: cosine %.4f | mean relative cell change %.1f%%\n", a, b,
+          rollup.day_similarity(a, b),
+          cells > 0 ? rel_sum / static_cast<double>(cells) * 100.0 : 0.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Section 4.3: day-over-day traffic-matrix stability",
+                "Section 4.3 (Hive rollups over Fbflow samples)");
+  const topology::Fleet fleet = workload::build_fleet_experiment_fleet();
+  std::printf("fleet: %zu hosts, %zu clusters, %d simulated days each\n", fleet.num_hosts(),
+              fleet.clusters().size(), kDays);
+
+  report("Facebook-style (stable service mix; fresh randomness daily)",
+         run_days(fleet, /*stable=*/true));
+  report("Churning application mix (Delimitrou-style day-to-day variation)",
+         run_days(fleet, /*stable=*/false));
+
+  std::printf(
+      "\nExpected: near-1.0 similarity for the stable workload — the demand\n"
+      "matrix is a structural property of the service architecture, not of\n"
+      "any day's randomness — and visibly lower similarity when the\n"
+      "application mix itself churns.\n");
+  return 0;
+}

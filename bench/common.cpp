@@ -1,0 +1,68 @@
+#include "common.h"
+
+#include <cstdlib>
+
+namespace fbdcsim::bench {
+
+std::int64_t BenchEnv::effective_seconds(std::int64_t nominal) {
+  if (const char* env = std::getenv("FBDCSIM_BENCH_SECONDS")) {
+    const std::int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return nominal;
+}
+
+RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Tweak& tweak) {
+  workload::RackSimConfig cfg = workload::default_rack_config(
+      fleet_, role, core::Duration::seconds(effective_seconds(seconds)));
+  if (tweak) tweak(cfg);
+  workload::RackSimulation sim{fleet_, cfg};
+  RoleTrace trace;
+  trace.role = role;
+  trace.host = cfg.monitored_host;
+  trace.self = fleet_.host(cfg.monitored_host).addr;
+  trace.result = sim.run();
+  return trace;
+}
+
+namespace {
+constexpr double kQuantiles[] = {0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0};
+}  // namespace
+
+void print_cdf(const char* label, const core::Cdf& cdf, double scale, const char* unit) {
+  std::printf("%s (%zu samples)\n", label, cdf.size());
+  std::printf("  %8s  %12s\n", "quantile", "value");
+  for (const double q : kQuantiles) {
+    std::printf("  %8.2f  %12.4g%s\n", q, cdf.quantile(q) * scale, unit);
+  }
+}
+
+void print_cdf_table(const char* title, const std::vector<std::string>& names,
+                     const std::vector<const core::Cdf*>& cdfs, double scale,
+                     const char* unit) {
+  std::printf("%s%s%s\n", title, unit[0] != '\0' ? " — values in " : "", unit);
+  std::printf("  %8s", "quantile");
+  for (const auto& name : names) std::printf("  %14s", name.c_str());
+  std::printf("\n");
+  for (const double q : kQuantiles) {
+    std::printf("  %8.2f", q);
+    for (const core::Cdf* cdf : cdfs) {
+      if (cdf == nullptr || cdf->empty()) {
+        std::printf("  %14s", "-");
+      } else {
+        std::printf("  %14.4g", cdf->quantile(q) * scale);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void banner(const char* experiment, const char* paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s — 'Inside the Social Network's (Datacenter) Network'\n",
+              paper_ref);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace fbdcsim::bench

@@ -1,0 +1,64 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary prints the same rows/series the paper reports, against
+// traces captured from the canonical rack-experiment fleet. Capture lengths
+// default to values that keep each bench under ~a minute; set
+// FBDCSIM_BENCH_SECONDS to lengthen or shorten all captures.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fbdcsim/analysis/resolver.h"
+#include "fbdcsim/core/stats.h"
+#include "fbdcsim/workload/presets.h"
+
+namespace fbdcsim::bench {
+
+/// One monitored-host capture plus everything needed to analyze it.
+struct RoleTrace {
+  core::HostRole role;
+  core::HostId host;
+  core::Ipv4Addr self;
+  workload::RackSimResult result;
+};
+
+/// Builds the canonical fleet once and captures per-role traces on demand.
+class BenchEnv {
+ public:
+  BenchEnv() : fleet_{workload::build_rack_experiment_fleet()}, resolver_{fleet_} {}
+
+  [[nodiscard]] const topology::Fleet& fleet() const { return fleet_; }
+  [[nodiscard]] const analysis::AddrResolver& resolver() const { return resolver_; }
+
+  /// Captures `seconds` (scaled by FBDCSIM_BENCH_SECONDS if set) of the
+  /// given role's traffic. `tweak` may adjust the config before the run.
+  using Tweak = std::function<void(workload::RackSimConfig&)>;
+  [[nodiscard]] RoleTrace capture(core::HostRole role, std::int64_t seconds,
+                                  const Tweak& tweak = {});
+
+  /// Effective capture length for a nominal request.
+  [[nodiscard]] static std::int64_t effective_seconds(std::int64_t nominal);
+
+ private:
+  topology::Fleet fleet_;
+  analysis::AddrResolver resolver_;
+};
+
+/// Prints a CDF as (quantile, value) rows at the paper's usual quantiles.
+void print_cdf(const char* label, const core::Cdf& cdf, double scale = 1.0,
+               const char* unit = "");
+
+/// Prints several CDFs side by side (one column per series).
+void print_cdf_table(const char* title, const std::vector<std::string>& names,
+                     const std::vector<const core::Cdf*>& cdfs, double scale = 1.0,
+                     const char* unit = "");
+
+/// Short banner shared by all benches.
+void banner(const char* experiment, const char* paper_ref);
+
+}  // namespace fbdcsim::bench

@@ -1,0 +1,81 @@
+// Incast probe: the measurement the paper could NOT make (§7: "these
+// constraints prevent us from evaluating effects like incast or
+// microbursts") — but the simulator can.
+//
+// N cache followers answer a synchronized multiget from one Web server;
+// all N responses converge on the Web host's RSW downlink within a few
+// microseconds. The probe sweeps the fan-in degree and reports downlink
+// queue peaks and drops, the classic incast cliff.
+//
+// Usage: incast_probe [response_bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fbdcsim/sim/simulator.h"
+#include "fbdcsim/switching/switch.h"
+
+using namespace fbdcsim;
+
+int main(int argc, char** argv) {
+  const std::int64_t response_payload = argc > 1 ? std::atoll(argv[1]) : 4096;
+
+  std::printf("incast probe: synchronized %lld-B responses converging on one 10G\n",
+              static_cast<long long>(response_payload));
+  std::printf("downlink behind a shared-buffer RSW (64 KB pool, DT alpha=2)\n\n");
+  std::printf("%8s  %12s  %12s  %9s  %12s\n", "fan-in", "offered", "peak queue", "drops",
+              "completion");
+
+  for (const int fanin : {4, 8, 16, 32, 64, 128, 256}) {
+    sim::Simulator sim;
+    switching::SwitchConfig cfg;
+    cfg.num_ports = 1;  // the victim downlink
+    cfg.buffer_total = core::DataSize::kilobytes(64);
+    cfg.dt_alpha = 2.0;
+    cfg.port_rate = core::DataRate::gigabits_per_sec(10);
+
+    core::TimePoint last_delivery;
+    switching::SharedBufferSwitch sw{
+        sim, cfg,
+        [&](std::size_t, const switching::SimPacket&) { last_delivery = sim.now(); }};
+
+    // Responses arrive nearly simultaneously (the request fan-out took
+    // ~microseconds); each is segmented at the MSS.
+    std::int64_t offered = 0;
+    core::DataSize peak = core::DataSize::bytes(0);
+    for (int i = 0; i < fanin; ++i) {
+      std::int64_t remaining = response_payload;
+      core::TimePoint at =
+          core::TimePoint::from_nanos(i % 8 * 200);  // tiny arrival jitter
+      while (remaining > 0) {
+        const std::int64_t seg = std::min<std::int64_t>(remaining, core::wire::kMaxTcpPayloadBytes);
+        remaining -= seg;
+        switching::SimPacket pkt;
+        pkt.header.timestamp = at;
+        pkt.header.payload_bytes = seg;
+        pkt.header.frame_bytes = core::wire::tcp_frame_bytes(seg);
+        pkt.header.tuple.src_port = static_cast<core::Port>(40000 + i);
+        offered += pkt.header.frame_bytes;
+        sim.schedule_at(at, [&sw, pkt, &peak] {
+          sw.enqueue(0, pkt);
+          peak = std::max(peak, sw.buffer_occupancy());
+        });
+        at += core::Duration::nanos(1250);  // sender NIC at 10G
+      }
+    }
+    sim.run();
+
+    const auto& counters = sw.counters(0);
+    std::printf("%8d  %10.1fKB  %10.1fKB  %9lld  %10.1fus\n", fanin,
+                static_cast<double>(offered) / 1e3,
+                static_cast<double>(peak.count_bytes()) / 1e3,
+                static_cast<long long>(counters.dropped_packets),
+                last_delivery.since_epoch().to_micros());
+  }
+
+  std::printf(
+      "\nReading: below the buffer limit the burst is absorbed and completion\n"
+      "time grows linearly; past it, drops appear — with TCP, those drops\n"
+      "would become timeouts and goodput collapse. This is the §7 future-work\n"
+      "measurement, made possible by the simulator.\n");
+  return 0;
+}

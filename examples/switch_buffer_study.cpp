@@ -1,0 +1,61 @@
+// Switch-buffer study example: how much RSW buffer does a Web rack need?
+//
+// Section 6.3 finds standing buffer occupancy at ~1% utilization and warns
+// that "careful buffer tuning is likely to be important moving forward".
+// This example sweeps the shared-buffer size under the Web-rack workload
+// and reports the drop rate and occupancy at each point — the curve an
+// operator would use to size (or configure) the buffer.
+//
+// Usage: switch_buffer_study [seconds-per-point]
+#include <cstdio>
+#include <cstdlib>
+
+#include "fbdcsim/core/stats.h"
+#include "fbdcsim/workload/presets.h"
+
+using namespace fbdcsim;
+
+int main(int argc, char** argv) {
+  const std::int64_t seconds = argc > 1 ? std::atoll(argv[1]) : 3;
+  const topology::Fleet fleet = workload::build_rack_experiment_fleet();
+
+  std::printf("Web-rack RSW buffer sweep (%llds per point, DT alpha=2):\n\n",
+              static_cast<long long>(seconds));
+  std::printf("%10s  %12s  %9s  %12s  %12s\n", "buffer", "median.occ", "max.occ",
+              "drop rate", "99.99%ile ok");
+  for (const std::int64_t kb : {64LL, 128LL, 256LL, 512LL, 1024LL, 4096LL, 12000LL}) {
+    workload::RackSimConfig cfg = workload::default_rack_config(
+        fleet, core::HostRole::kWeb, core::Duration::seconds(seconds));
+    cfg.mirror_whole_rack = false;
+    cfg.background_rate_scale = 1.0;
+    cfg.sample_buffer = true;
+    cfg.capture_memory_bytes = 64;
+    cfg.seed = 7;
+    cfg.rsw.buffer_total = core::DataSize::kilobytes(kb);
+    cfg.rsw.dt_alpha = 2.0;
+
+    workload::RackSimulation sim{fleet, cfg};
+    const auto result = sim.run();
+
+    core::Cdf medians;
+    double max_occ = 0.0;
+    for (const auto& s : result.buffer_seconds) {
+      medians.add(s.median_fraction);
+      max_occ = std::max(max_occ, s.max_fraction);
+    }
+    const std::int64_t drops =
+        result.uplink.dropped_packets + result.downlinks.dropped_packets;
+    const std::int64_t sent = result.uplink.tx_packets + result.downlinks.tx_packets;
+    const double drop_rate =
+        sent + drops > 0 ? static_cast<double>(drops) / static_cast<double>(sent + drops) : 0.0;
+    std::printf("%8lldKB  %12.4f  %9.3f  %11.5f%%  %12s\n", static_cast<long long>(kb),
+                medians.median(), max_occ, drop_rate * 100.0,
+                drop_rate < 1e-4 ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nReading: the workload's fan-in bursts need a fixed byte budget; past\n"
+      "that point extra buffer only raises occupancy headroom, not goodput.\n"
+      "Compare bench_ablation_buffer_policy for the sharing-policy dimension.\n");
+  return 0;
+}

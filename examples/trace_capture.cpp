@@ -1,0 +1,72 @@
+// Trace capture CLI: run a port-mirror capture and spool it to disk in the
+// FBTR binary format (or CSV), so expensive captures can be analyzed many
+// times — the collection-host-to-storage step of §3.3.2.
+//
+// Usage: trace_capture <web|cache-f|cache-l|hadoop> <seconds> <out.fbtr> [out.csv]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fbdcsim/monitoring/trace_io.h"
+#include "fbdcsim/workload/presets.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+core::HostRole parse_role(const char* name) {
+  const std::string s{name};
+  if (s == "web") return core::HostRole::kWeb;
+  if (s == "cache-f") return core::HostRole::kCacheFollower;
+  if (s == "cache-l") return core::HostRole::kCacheLeader;
+  if (s == "hadoop") return core::HostRole::kHadoop;
+  std::fprintf(stderr, "unknown role '%s' (web|cache-f|cache-l|hadoop)\n", name);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <web|cache-f|cache-l|hadoop> <seconds> <out.fbtr> [out.csv]\n",
+                 argv[0]);
+    return 1;
+  }
+  const core::HostRole role = parse_role(argv[1]);
+  const std::int64_t seconds = std::atoll(argv[2]);
+
+  const topology::Fleet fleet = workload::build_rack_experiment_fleet();
+  workload::RackSimConfig cfg =
+      workload::default_rack_config(fleet, role, core::Duration::seconds(seconds));
+  workload::RackSimulation sim{fleet, cfg};
+  const workload::RackSimResult result = sim.run();
+  std::printf("captured %zu packets (%lld lost to capture-buffer limits)\n",
+              result.trace.size(), static_cast<long long>(result.capture_dropped));
+
+  if (!monitoring::write_trace_file(argv[3], result.trace)) {
+    std::fprintf(stderr, "failed to write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("wrote %s\n", argv[3]);
+
+  if (argc > 4) {
+    std::ofstream csv{argv[4]};
+    if (!csv || !monitoring::write_trace_csv(csv, result.trace)) {
+      std::fprintf(stderr, "failed to write %s\n", argv[4]);
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[4]);
+  }
+
+  // Round-trip sanity: re-read and verify.
+  const auto reread = monitoring::read_trace_file(argv[3]);
+  if (!reread.ok || reread.trace.size() != result.trace.size()) {
+    std::fprintf(stderr, "round-trip verification FAILED: %s\n", reread.error.c_str());
+    return 1;
+  }
+  std::printf("round-trip verified (%zu records)\n", reread.trace.size());
+  return 0;
+}

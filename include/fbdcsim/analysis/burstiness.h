@@ -1,0 +1,40 @@
+// Intra-flow burstiness analysis (Section 5.1).
+//
+// "Regardless of flow size or length, flows tend to be internally bursty:
+// most flows are active only during distinct millisecond-scale intervals
+// with large intervening gaps." These analyses quantify that claim from a
+// trace: per-flow duty cycles (fraction of a flow's lifetime bins with any
+// packet), and trains of back-to-back packets (Kapoor et al.'s packet
+// trains, which the paper cites as related work).
+#pragma once
+
+#include <span>
+
+#include "fbdcsim/analysis/flow_table.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/stats.h"
+
+namespace fbdcsim::analysis {
+
+/// Per-flow duty cycle: for each outbound flow with at least `min_packets`
+/// packets and a lifetime of at least two bins, the fraction of its
+/// lifetime bins (default 1 ms) containing at least one packet. Internally
+/// bursty flows have small duty cycles.
+[[nodiscard]] core::Cdf flow_duty_cycles(std::span<const core::PacketHeader> trace,
+                                         core::Ipv4Addr outbound_from,
+                                         core::Duration bin = core::Duration::millis(1),
+                                         std::int64_t min_packets = 5);
+
+/// Statistics over packet trains: maximal runs of a host's outbound packets
+/// whose inter-arrival gaps stay below `max_gap`.
+struct TrainStats {
+  core::Cdf packets_per_train;
+  core::Cdf bytes_per_train;
+  core::Cdf train_duration_us;
+  core::Cdf gap_between_trains_us;
+};
+[[nodiscard]] TrainStats packet_trains(std::span<const core::PacketHeader> trace,
+                                       core::Ipv4Addr outbound_from,
+                                       core::Duration max_gap = core::Duration::micros(20));
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,53 @@
+// Concurrency analyses (Section 6.4; Figures 16 and 17).
+//
+// "Concurrent" means existing within the same 5-ms window. Figure 16
+// counts, per window, the distinct destination racks an individual host
+// sends to, split by destination locality; Figure 17 restricts the count
+// to the window's heavy-hitter racks. The same machinery also reports
+// concurrent 5-tuple and per-host counts (the §6.4 text numbers).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fbdcsim/analysis/resolver.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/stats.h"
+
+namespace fbdcsim::analysis {
+
+/// Locality classes reported in Figures 16/17, plus the "All" aggregate.
+/// (Intra-rack destinations do not traverse uplinks; the figures report
+/// cluster/DC/inter-DC only, and "All" includes everything.)
+struct ConcurrencyCdfs {
+  core::Cdf intra_cluster;
+  core::Cdf intra_datacenter;  // same DC, different cluster
+  core::Cdf inter_datacenter;
+  core::Cdf all;
+};
+
+/// Distinct destination racks per window (Figure 16).
+[[nodiscard]] ConcurrencyCdfs concurrent_racks(std::span<const core::PacketHeader> trace,
+                                               core::Ipv4Addr outbound_from,
+                                               const AddrResolver& resolver,
+                                               core::Duration window = core::Duration::millis(5));
+
+/// Distinct heavy-hitter destination racks per window (Figure 17): racks
+/// that belong to the window's minimal 50%-byte cover.
+[[nodiscard]] ConcurrencyCdfs concurrent_heavy_hitter_racks(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    const AddrResolver& resolver, core::Duration window = core::Duration::millis(5));
+
+/// Distinct concurrent 5-tuples and destination hosts per window — the
+/// §6.4 text numbers (100s-1000s for Web/cache, ~25 for Hadoop; host-level
+/// grouping reduces by at most 2x).
+struct ConnectionConcurrency {
+  core::Cdf tuples;
+  core::Cdf hosts;
+};
+[[nodiscard]] ConnectionConcurrency concurrent_connections(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    core::Duration window = core::Duration::millis(5));
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,66 @@
+// Flow assembly from packet-header traces (Sections 5.1, 6.2).
+//
+// Reconstructs 5-tuple flows from a mirrored trace, then aggregates them to
+// destination-host and destination-rack granularity — the three aggregation
+// levels of Figures 6-11. Flow boundaries follow the paper's definition: a
+// flow is a 5-tuple's packets within the capture; SYN/FIN presence is
+// recorded so analyses can distinguish ephemeral from pooled connections.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fbdcsim/analysis/resolver.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/stats.h"
+
+namespace fbdcsim::analysis {
+
+struct Flow {
+  core::FiveTuple tuple;
+  core::TimePoint first_packet;
+  core::TimePoint last_packet;
+  std::int64_t payload_bytes{0};
+  std::int64_t frame_bytes{0};
+  std::int64_t packets{0};
+  bool saw_syn{false};
+  bool saw_fin{false};
+
+  [[nodiscard]] core::Duration duration() const { return last_packet - first_packet; }
+};
+
+/// How flows are keyed when aggregating (Figures 6-11 all report results at
+/// these three levels).
+enum class AggLevel { kFlow, kHost, kRack };
+
+[[nodiscard]] const char* to_string(AggLevel level);
+
+class FlowTable {
+ public:
+  /// Assembles flows from `trace`, keeping only packets whose source
+  /// matches `outbound_from` (pass the monitored host's address to study
+  /// its outbound traffic, as most of §5 does).
+  [[nodiscard]] static std::vector<Flow> outbound_flows(
+      std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from);
+
+  /// Assembles flows from every packet in the trace (both directions),
+  /// keyed by the canonical (smaller-endpoint-first) tuple orientation.
+  [[nodiscard]] static std::vector<Flow> all_flows(std::span<const core::PacketHeader> trace);
+};
+
+/// Sums of flow-level quantities after aggregation to host or rack level.
+struct AggregatedFlow {
+  std::uint64_t key;  // dst host address, or dst rack id
+  core::TimePoint first_packet;
+  core::TimePoint last_packet;
+  std::int64_t payload_bytes{0};
+  std::int64_t packets{0};
+};
+
+/// Aggregates outbound flows by destination host or rack.
+[[nodiscard]] std::vector<AggregatedFlow> aggregate(std::span<const Flow> flows,
+                                                    AggLevel level,
+                                                    const AddrResolver& resolver);
+
+}  // namespace fbdcsim::analysis

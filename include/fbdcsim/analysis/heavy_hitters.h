@@ -1,0 +1,78 @@
+// Heavy-hitter extraction and stability (Section 5.3; Table 4, Figures 10
+// and 11).
+//
+// A heavy-hitter set is the *minimum* set of flows (or destination hosts /
+// racks) responsible for at least half the bytes in a time interval.
+// Persistence compares consecutive intervals; the enclosing-second
+// intersection asks how much of a second's heavy hitters are instantaneous
+// heavy hitters inside its subintervals — the paper's upper bound on
+// traffic-engineering usefulness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fbdcsim/analysis/flow_table.h"
+#include "fbdcsim/analysis/resolver.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/stats.h"
+
+namespace fbdcsim::analysis {
+
+/// Bytes per aggregation key per fixed-width time bin.
+class BinnedTraffic {
+ public:
+  BinnedTraffic(core::Duration bin_width, std::size_t num_bins)
+      : bin_width_{bin_width}, bins_(num_bins) {}
+
+  void add(std::int64_t bin, std::uint64_t key, double bytes) {
+    if (bin < 0 || static_cast<std::size_t>(bin) >= bins_.size()) return;
+    bins_[static_cast<std::size_t>(bin)][key] += bytes;
+  }
+
+  [[nodiscard]] core::Duration bin_width() const { return bin_width_; }
+  [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
+  [[nodiscard]] const std::unordered_map<std::uint64_t, double>& bin(std::size_t i) const {
+    return bins_.at(i);
+  }
+
+ private:
+  core::Duration bin_width_;
+  std::vector<std::unordered_map<std::uint64_t, double>> bins_;
+};
+
+/// Bins the outbound traffic of `from` at the given aggregation level.
+/// Bin 0 starts at `origin` (pass the capture start).
+[[nodiscard]] BinnedTraffic bin_outbound(std::span<const core::PacketHeader> trace,
+                                         core::Ipv4Addr from, const AddrResolver& resolver,
+                                         AggLevel level, core::Duration bin_width,
+                                         core::TimePoint origin, core::Duration span);
+
+/// The minimal set of keys covering at least `coverage` of the bin's bytes
+/// (keys sorted by descending contribution; ties broken by key).
+[[nodiscard]] std::vector<std::uint64_t> heavy_hitters_of(
+    const std::unordered_map<std::uint64_t, double>& bin, double coverage = 0.5);
+
+/// For each consecutive bin pair with non-empty heavy-hitter sets, the
+/// percentage of the first bin's heavy hitters still heavy in the next
+/// (Figure 10's x-axis samples).
+[[nodiscard]] std::vector<double> hh_persistence(const BinnedTraffic& binned,
+                                                 double coverage = 0.5);
+
+/// For each subinterval, the percentage of its heavy hitters that are also
+/// heavy hitters of the enclosing second (Figure 11). `per_second` must be
+/// the same traffic binned at one second with the same origin.
+[[nodiscard]] std::vector<double> hh_second_intersection(const BinnedTraffic& sub,
+                                                         const BinnedTraffic& per_second,
+                                                         double coverage = 0.5);
+
+/// Table 4: number of heavy hitters per bin and their rates.
+struct HeavyHitterStats {
+  core::Cdf count_per_bin;  // set size per non-empty bin
+  core::Cdf size_mbps;      // each heavy hitter's rate within its bin
+};
+[[nodiscard]] HeavyHitterStats hh_stats(const BinnedTraffic& binned, double coverage = 0.5);
+
+}  // namespace fbdcsim::analysis

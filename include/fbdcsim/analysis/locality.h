@@ -1,0 +1,58 @@
+// Locality analyses (Section 4.2, Figure 4; Table 2's service breakdown).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fbdcsim/analysis/flow_table.h"
+#include "fbdcsim/analysis/resolver.h"
+#include "fbdcsim/core/packet.h"
+
+namespace fbdcsim::analysis {
+
+/// Outbound bytes per time bin split by destination locality — the data of
+/// Figure 4's stacked per-second charts.
+struct LocalityBin {
+  std::int64_t bin{0};
+  std::array<double, core::kNumLocalities> bytes{};
+
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const double b : bytes) t += b;
+    return t;
+  }
+};
+
+[[nodiscard]] std::vector<LocalityBin> locality_timeseries(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    const AddrResolver& resolver, core::Duration bin = core::Duration::seconds(1));
+
+/// Overall outbound byte share by destination locality.
+[[nodiscard]] std::array<double, core::kNumLocalities> locality_shares(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    const AddrResolver& resolver);
+
+/// Outbound byte share by destination role (Table 2). Shares are
+/// percentages of the host's total outbound payload bytes.
+struct RoleShare {
+  core::HostRole role;
+  double percent{0.0};
+};
+[[nodiscard]] std::vector<RoleShare> outbound_role_shares(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    const AddrResolver& resolver);
+
+/// Per-locality flow size and duration samples (Figures 6 and 7): for each
+/// outbound flow, its destination locality, total payload bytes, and
+/// duration.
+struct FlowsByLocality {
+  std::array<std::vector<double>, core::kNumLocalities> size_bytes;
+  std::array<std::vector<double>, core::kNumLocalities> duration_ms;
+  std::vector<double> all_size_bytes;
+  std::vector<double> all_duration_ms;
+};
+[[nodiscard]] FlowsByLocality flows_by_locality(std::span<const Flow> flows,
+                                                const AddrResolver& resolver);
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,72 @@
+// Per-packet and arrival-process analyses (Section 6; Figures 12-14) and
+// the rate-stability analyses of Section 5.2 (Figure 8).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fbdcsim/analysis/resolver.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/stats.h"
+
+namespace fbdcsim::analysis {
+
+/// Packet-size samples (on-wire frame bytes, both directions) — Figure 12.
+[[nodiscard]] core::Cdf packet_size_cdf(std::span<const core::PacketHeader> trace);
+
+/// Inter-arrival times (microseconds) of outbound SYN packets (initial
+/// SYNs, not SYN-ACKs) — Figure 14.
+[[nodiscard]] core::Cdf syn_interarrival_cdf(std::span<const core::PacketHeader> trace,
+                                             core::Ipv4Addr outbound_from);
+
+/// Packets per fixed-width bin over the trace — Figure 13's time series
+/// (the paper shows 15-ms and 100-ms binnings to demonstrate the absence
+/// of ON/OFF behaviour).
+[[nodiscard]] std::vector<std::int64_t> arrival_counts(
+    std::span<const core::PacketHeader> trace, core::Duration bin);
+
+/// A simple ON/OFF-ness score: the fraction of bins with zero packets.
+/// ON/OFF traffic at the binning timescale shows a large idle fraction;
+/// Facebook-style continuous arrivals show ~0 (§6.2).
+[[nodiscard]] double idle_bin_fraction(std::span<const core::PacketHeader> trace,
+                                       core::Duration bin);
+
+/// §6.2's second observation: aggregate arrivals are continuous, but "if
+/// one considers traffic on a per-destination host basis, on/off behavior
+/// remerges". Computes the idle-bin fraction separately for each
+/// destination host of `outbound_from` (over [first, last] packet of that
+/// destination) and returns the distribution. High per-destination idle
+/// fractions alongside a ~0 aggregate fraction reproduce the claim.
+[[nodiscard]] core::Cdf per_destination_idle_fractions(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    core::Duration bin, std::int64_t min_packets = 10);
+
+/// Figure 8 family: per-destination-rack outbound rates per second.
+/// rates[rack_position][second] in bytes/sec; racks with no traffic are
+/// omitted. The rack key is the topology RackId value.
+struct PerRackRates {
+  std::vector<std::uint64_t> rack_keys;
+  std::vector<std::vector<double>> bytes_per_sec;  // [rack][second]
+  std::size_t seconds{0};
+};
+[[nodiscard]] PerRackRates per_rack_second_rates(std::span<const core::PacketHeader> trace,
+                                                 core::Ipv4Addr outbound_from,
+                                                 const AddrResolver& resolver,
+                                                 core::TimePoint origin, core::Duration span);
+
+/// Stability metrics over PerRackRates (Figure 8c and §5.2's "significant
+/// change" test).
+struct RateStability {
+  /// Fraction of (rack, second) samples within a factor of two of that
+  /// rack's median rate (paper: ~90% for cache).
+  double within_2x_of_median{0.0};
+  /// Fraction of samples deviating more than 20% from the rack median
+  /// (Benson et al.'s significant-change criterion; paper: ~45%).
+  double significant_change{0.0};
+  /// Per-rack normalized (rate / median) samples for CDF plotting.
+  std::vector<std::vector<double>> normalized;
+};
+[[nodiscard]] RateStability rate_stability(const PerRackRates& rates);
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,54 @@
+// Traffic-engineering effectiveness evaluation (Section 5.4).
+//
+// The paper argues that heavy-hitter-driven TE schemes (circuit
+// provisioning, flow re-routing, hybrid fabrics) need (a) heavy hitters
+// that can be identified by observation, and (b) enough of the next
+// interval's bytes carried by them for the special treatment to matter.
+// This module operationalizes that argument: a predict-then-measure loop
+// over a trace. In each interval the scheme "treats" the previous
+// interval's heavy hitters; the score is the fraction of bytes that
+// actually ride treated keys. An oracle bound (treat this interval's own
+// heavy hitters, i.e. perfect prediction) separates prediction failure from
+// concentration failure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fbdcsim/analysis/heavy_hitters.h"
+
+namespace fbdcsim::analysis {
+
+struct TeEvaluation {
+  /// Mean fraction of bytes carried by keys predicted from the previous
+  /// interval (what a reactive TE scheme would capture).
+  double predicted_byte_coverage{0.0};
+  /// Mean fraction of bytes carried by the interval's own heavy hitters
+  /// (what a clairvoyant scheme would capture — by construction >= 50%).
+  double oracle_byte_coverage{0.0};
+  /// Mean number of keys treated per interval.
+  double mean_treated_keys{0.0};
+  /// Number of intervals evaluated.
+  std::int64_t intervals{0};
+
+  /// Benson et al.'s threshold: TE is considered workable when >= 35% of
+  /// bytes are predictable.
+  [[nodiscard]] bool meets_benson_threshold() const {
+    return predicted_byte_coverage >= 0.35;
+  }
+};
+
+/// Evaluates reactive heavy-hitter TE over pre-binned traffic.
+[[nodiscard]] TeEvaluation evaluate_reactive_te(const BinnedTraffic& binned,
+                                                double coverage = 0.5);
+
+/// Convenience: bins a trace at the given aggregation/interval and runs the
+/// evaluation (origin = first packet's interval).
+[[nodiscard]] TeEvaluation evaluate_reactive_te(std::span<const core::PacketHeader> trace,
+                                                core::Ipv4Addr outbound_from,
+                                                const AddrResolver& resolver, AggLevel level,
+                                                core::Duration interval,
+                                                core::TimePoint origin, core::Duration span,
+                                                double coverage = 0.5);
+
+}  // namespace fbdcsim::analysis

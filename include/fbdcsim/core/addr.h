@@ -1,0 +1,68 @@
+// Network addresses: IPv4 and transport ports.
+//
+// The topology assigns addresses with a location-encoding scheme (see
+// topology/addressing.h); this header only defines the raw address types.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace fbdcsim::core {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : value_{v} {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_{(static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d} {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>((value_ >> (8 * (3 - i))) & 0xFF);
+  }
+
+  /// Parses dotted-quad notation; returns an all-zero address on failure
+  /// (use try_parse when failure must be detected).
+  [[nodiscard]] static Ipv4Addr parse(const std::string& dotted);
+  [[nodiscard]] static bool try_parse(const std::string& dotted, Ipv4Addr& out);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+/// A TCP/UDP port number.
+using Port = std::uint16_t;
+
+/// Well-known service ports used by the synthetic services. These mirror the
+/// role of real service ports: they let the flow classifier attribute traffic
+/// to a service from headers alone, exactly as Fbflow's taggers do.
+namespace ports {
+inline constexpr Port kHttp = 80;
+inline constexpr Port kMemcache = 11211;
+inline constexpr Port kCacheCoherence = 11212;
+inline constexpr Port kMysql = 3306;
+inline constexpr Port kHdfs = 50010;
+inline constexpr Port kMapReduceShuffle = 13562;
+inline constexpr Port kMultifeed = 8086;
+inline constexpr Port kSlb = 9000;
+inline constexpr Port kEphemeralBase = 32768;
+}  // namespace ports
+
+}  // namespace fbdcsim::core
+
+namespace std {
+template <>
+struct hash<fbdcsim::core::Ipv4Addr> {
+  size_t operator()(fbdcsim::core::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+}  // namespace std

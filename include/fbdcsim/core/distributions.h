@@ -1,0 +1,150 @@
+// Parametric and empirical distributions used by the workload models.
+//
+// The paper reports heavy-tailed flow sizes, log-normal-style burstiness in
+// prior work, and Zipf-like object popularity in the cache tier; these
+// samplers are the generative building blocks. All sampling is explicit-RNG
+// (no hidden state) per the determinism rules in DESIGN.md §6.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/core/time.h"
+
+namespace fbdcsim::core {
+
+/// Log-normal distribution parameterized by the *linear-space* median and the
+/// log-space sigma — far easier to calibrate against reported medians than
+/// the raw (mu, sigma) pair.
+class LogNormal {
+ public:
+  LogNormal(double median, double sigma) : mu_{std::log(median)}, sigma_{sigma} {
+    if (median <= 0.0 || sigma < 0.0) throw std::invalid_argument{"LogNormal: bad params"};
+  }
+
+  [[nodiscard]] double sample(RngStream& rng) const {
+    return std::exp(rng.normal(mu_, sigma_));
+  }
+
+  [[nodiscard]] double median() const { return std::exp(mu_); }
+  [[nodiscard]] double mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2.0); }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Bounded Pareto: heavy-tailed sizes in [lo, hi] with shape alpha.
+class BoundedPareto {
+ public:
+  BoundedPareto(double alpha, double lo, double hi) : alpha_{alpha}, lo_{lo}, hi_{hi} {
+    if (alpha <= 0.0 || lo <= 0.0 || hi <= lo) throw std::invalid_argument{"BoundedPareto: bad params"};
+  }
+
+  [[nodiscard]] double sample(RngStream& rng) const {
+    // Inverse-CDF of the truncated Pareto.
+    const double u = rng.uniform();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  }
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+/// Zipf distribution over ranks {0, ..., n-1} with exponent s, sampled by
+/// inverse CDF over a precomputed table (O(log n) per draw, exact).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(RngStream& rng) const;
+
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return s_; }
+
+ private:
+  double s_;
+  double norm_{0.0};
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+/// A distribution defined by an explicit inverse-CDF table of (quantile,
+/// value) knots with log-linear interpolation between them. This is how we
+/// encode the paper's published CDF shapes (e.g. Figure 6 flow sizes)
+/// directly as samplers.
+class EmpiricalCdf {
+ public:
+  struct Knot {
+    double quantile;  // in [0, 1], strictly increasing across knots
+    double value;     // > 0, non-decreasing across knots
+  };
+
+  explicit EmpiricalCdf(std::vector<Knot> knots);
+
+  /// Value at the given quantile (inverse CDF), log-interpolated.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double sample(RngStream& rng) const { return quantile(rng.uniform()); }
+
+  [[nodiscard]] std::span<const Knot> knots() const { return knots_; }
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+/// Weighted choice over a small fixed set of outcomes, e.g. the Table 2
+/// destination-service mix. Weights need not sum to 1.
+class DiscreteChoice {
+ public:
+  explicit DiscreteChoice(std::vector<double> weights);
+
+  [[nodiscard]] std::size_t sample(RngStream& rng) const;
+  [[nodiscard]] double probability(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized, non-decreasing, back() == 1
+};
+
+/// Diurnal rate modulation (Section 4.1): a smooth day/night curve with a
+/// configurable peak-to-trough ratio (the paper reports ~2x for Facebook vs.
+/// the order-of-magnitude swings reported elsewhere) plus a day-of-week dip.
+class DiurnalProfile {
+ public:
+  struct Params {
+    double peak_to_trough{2.0};   // >= 1
+    double peak_hour{20.0};       // local hour of peak demand
+    double weekend_factor{0.85};  // multiplier applied on days 5 and 6
+  };
+
+  explicit DiurnalProfile(Params params);
+
+  /// Multiplicative demand factor at an absolute time-of-run offset.
+  /// The mean factor over a full week is ~1, so base rates are calibrated
+  /// independently of the modulation.
+  [[nodiscard]] double factor_at(Duration since_start) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  double amplitude_;  // derived from peak_to_trough
+};
+
+}  // namespace fbdcsim::core

@@ -1,0 +1,59 @@
+// Flow-level records: the unit of the fleet-scale (Fbflow-style) pipeline.
+//
+// In fleet mode, services emit FlowRecords directly — the analytic equivalent
+// of the packet streams that Fbflow's 1:30,000 sampling would observe; see
+// monitoring/fbflow.h for the thinning step.
+#pragma once
+
+#include <cstdint>
+
+#include "fbdcsim/core/ids.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/time.h"
+#include "fbdcsim/core/units.h"
+
+namespace fbdcsim::core {
+
+/// The role a machine plays. Every Facebook machine has exactly one role
+/// (Section 3.1), and racks are role-homogeneous.
+enum class HostRole : std::uint8_t {
+  kWeb,
+  kCacheFollower,
+  kCacheLeader,
+  kHadoop,
+  kMultifeed,
+  kSlb,
+  kDatabase,
+  kService,  // miscellaneous supporting services ("Rest" in Table 2)
+};
+
+[[nodiscard]] const char* to_string(HostRole role);
+
+/// Destination locality relative to the sending host (Section 4.2's four-way
+/// classification). Values are ordered from nearest to farthest.
+enum class Locality : std::uint8_t {
+  kIntraRack,
+  kIntraCluster,
+  kIntraDatacenter,
+  kInterDatacenter,
+};
+
+inline constexpr int kNumLocalities = 4;
+
+[[nodiscard]] const char* to_string(Locality locality);
+
+/// A completed (or in-progress) transport flow as the fleet pipeline sees it.
+struct FlowRecord {
+  FiveTuple tuple;
+  HostId src_host;
+  HostId dst_host;
+  TimePoint start;
+  Duration duration;
+  DataSize bytes;       // transport payload bytes carried src -> dst
+  std::int64_t packets{0};
+
+  [[nodiscard]] TimePoint end() const { return start + duration; }
+  [[nodiscard]] DataRate mean_rate() const { return rate_of(bytes, duration); }
+};
+
+}  // namespace fbdcsim::core

@@ -1,0 +1,63 @@
+// Strongly-typed integer identifiers for topology entities.
+//
+// Each entity kind gets its own ID type so a HostId can never be passed where
+// a RackId is expected. IDs are dense indices assigned by the topology
+// builder, which makes them directly usable as vector indices.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+
+namespace fbdcsim::core {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_{v} {}
+
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+  [[nodiscard]] constexpr bool is_valid() const { return value_ != kInvalid; }
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_{kInvalid};
+};
+
+struct HostTag {};
+struct RackTag {};
+struct ClusterTag {};
+struct DatacenterTag {};
+struct SiteTag {};
+struct SwitchTag {};
+struct LinkTag {};
+struct JobTag {};
+struct ObjectTag {};
+
+using HostId = Id<HostTag>;
+using RackId = Id<RackTag>;
+using ClusterId = Id<ClusterTag>;
+using DatacenterId = Id<DatacenterTag>;
+using SiteId = Id<SiteTag>;
+using SwitchId = Id<SwitchTag>;
+using LinkId = Id<LinkTag>;
+using JobId = Id<JobTag>;
+using ObjectId = Id<ObjectTag>;
+
+}  // namespace fbdcsim::core
+
+namespace std {
+template <typename Tag>
+struct hash<fbdcsim::core::Id<Tag>> {
+  size_t operator()(fbdcsim::core::Id<Tag> id) const noexcept {
+    return std::hash<typename fbdcsim::core::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

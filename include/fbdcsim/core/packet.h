@@ -1,0 +1,106 @@
+// Packet-header records: the unit captured by port mirroring and sampled by
+// Fbflow. We model exactly the fields the paper's collection pipeline parses
+// (addresses, ports, protocol, lengths, TCP flags, timestamp) — payloads are
+// never captured, matching the header-only methodology of Section 3.3.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+#include "fbdcsim/core/addr.h"
+#include "fbdcsim/core/time.h"
+#include "fbdcsim/core/units.h"
+
+namespace fbdcsim::core {
+
+enum class Protocol : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// TCP flag bits (subset the analyses need).
+struct TcpFlags {
+  bool syn{false};
+  bool ack{false};
+  bool fin{false};
+  bool rst{false};
+  bool psh{false};
+
+  friend constexpr bool operator==(TcpFlags, TcpFlags) = default;
+};
+
+/// The classic transport 5-tuple identifying a flow.
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  Port src_port{0};
+  Port dst_port{0};
+  Protocol protocol{Protocol::kTcp};
+
+  /// The tuple for traffic in the opposite direction.
+  [[nodiscard]] constexpr FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Ethernet framing constants for the monitored hosts (10-Gbps, 1500-B MTU).
+namespace wire {
+inline constexpr std::int64_t kMtuBytes = 1500;               // IP MTU
+inline constexpr std::int64_t kEthernetHeaderBytes = 14;      // no VLAN tag
+inline constexpr std::int64_t kIpv4HeaderBytes = 20;
+inline constexpr std::int64_t kTcpHeaderBytes = 20;           // no options
+inline constexpr std::int64_t kUdpHeaderBytes = 8;
+inline constexpr std::int64_t kMinFrameBytes = 64;
+inline constexpr std::int64_t kTcpAckFrameBytes =
+    kEthernetHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes;  // 54, padded to 64 on wire
+inline constexpr std::int64_t kMaxTcpPayloadBytes =
+    kMtuBytes - kIpv4HeaderBytes - kTcpHeaderBytes;  // 1460 (MSS)
+
+/// Frame length on the wire for a TCP segment carrying `payload` bytes.
+[[nodiscard]] constexpr std::int64_t tcp_frame_bytes(std::int64_t payload) {
+  const std::int64_t raw = kEthernetHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes + payload;
+  return raw < kMinFrameBytes ? kMinFrameBytes : raw;
+}
+}  // namespace wire
+
+/// A captured packet header, as produced by the port-mirror tap or sampled by
+/// an Fbflow agent. `frame_bytes` is the full on-wire frame length (what link
+/// utilization and buffer occupancy are accounted in); `payload_bytes` is the
+/// transport payload (what flow byte counts are accounted in).
+struct PacketHeader {
+  TimePoint timestamp;
+  FiveTuple tuple;
+  std::int64_t frame_bytes{0};
+  std::int64_t payload_bytes{0};
+  TcpFlags flags;
+
+  [[nodiscard]] DataSize frame_size() const { return DataSize::bytes(frame_bytes); }
+  [[nodiscard]] DataSize payload_size() const { return DataSize::bytes(payload_bytes); }
+};
+
+}  // namespace fbdcsim::core
+
+namespace std {
+template <>
+struct hash<fbdcsim::core::FiveTuple> {
+  size_t operator()(const fbdcsim::core::FiveTuple& t) const noexcept {
+    // FNV-1a over the tuple fields: cheap, deterministic across runs.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(t.src_ip.value());
+    mix(t.dst_ip.value());
+    mix(static_cast<std::uint64_t>(t.src_port) << 32 | t.dst_port);
+    mix(static_cast<std::uint64_t>(t.protocol));
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std

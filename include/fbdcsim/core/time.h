@@ -1,0 +1,99 @@
+// Simulation time: nanosecond-resolution points and durations.
+//
+// The simulator uses its own strong time types rather than <chrono> clocks so
+// that (a) simulated time is never confused with wall-clock time, and (b) the
+// representation (int64 nanoseconds) is explicit, cheap, and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace fbdcsim::core {
+
+/// A span of simulated time. Signed, nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t n) { return Duration{n * 1'000}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t n) { return Duration{n * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t n) { return seconds(n * 3'600); }
+
+  /// Construct from a floating-point count of seconds (rounding to nearest ns).
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration& operator+=(Duration d) { ns_ += d.ns_; return *this; }
+  constexpr Duration& operator-=(Duration d) { ns_ -= d.ns_; return *this; }
+  constexpr Duration& operator*=(std::int64_t k) { ns_ *= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+  friend constexpr Duration operator%(Duration a, Duration b) { return Duration{a.ns_ % b.ns_}; }
+  friend constexpr Duration operator-(Duration a) { return Duration{-a.ns_}; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering with an adaptive unit, e.g. "12.5ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+/// An instant on the simulated timeline. Time zero is the start of the run.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_nanos(std::int64_t n) { return TimePoint{n}; }
+  [[nodiscard]] static constexpr TimePoint from_seconds(double s) {
+    return TimePoint{Duration::from_seconds(s).count_nanos()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr Duration since_epoch() const { return Duration::nanos(ns_); }
+
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.count_nanos(); return *this; }
+  constexpr TimePoint& operator-=(Duration d) { ns_ -= d.count_nanos(); return *this; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.ns_ + d.count_nanos()}; }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint{t.ns_ - d.count_nanos()}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration::nanos(a.ns_ - b.ns_); }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  /// Index of the fixed-width bin containing this instant (bins start at t=0).
+  [[nodiscard]] constexpr std::int64_t bin_index(Duration bin_width) const {
+    return ns_ / bin_width.count_nanos();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+}  // namespace fbdcsim::core

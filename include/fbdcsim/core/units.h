@@ -1,0 +1,101 @@
+// Data-size and data-rate vocabulary types.
+//
+// Sizes are byte counts; rates are bits per second (the unit networks are
+// provisioned in). Both are strong types so that a byte count is never
+// accidentally used as a bit count or a rate.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "fbdcsim/core/time.h"
+
+namespace fbdcsim::core {
+
+/// An amount of data, in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t n) { return DataSize{n}; }
+  [[nodiscard]] static constexpr DataSize kilobytes(std::int64_t n) { return DataSize{n * 1'000}; }
+  [[nodiscard]] static constexpr DataSize megabytes(std::int64_t n) { return DataSize{n * 1'000'000}; }
+  [[nodiscard]] static constexpr DataSize gigabytes(std::int64_t n) { return DataSize{n * 1'000'000'000}; }
+
+  [[nodiscard]] constexpr std::int64_t count_bytes() const { return bytes_; }
+  [[nodiscard]] constexpr std::int64_t count_bits() const { return bytes_ * 8; }
+  [[nodiscard]] constexpr double to_kilobytes() const { return static_cast<double>(bytes_) / 1e3; }
+  [[nodiscard]] constexpr double to_megabytes() const { return static_cast<double>(bytes_) / 1e6; }
+  [[nodiscard]] constexpr bool is_zero() const { return bytes_ == 0; }
+
+  constexpr DataSize& operator+=(DataSize s) { bytes_ += s.bytes_; return *this; }
+  constexpr DataSize& operator-=(DataSize s) { bytes_ -= s.bytes_; return *this; }
+
+  friend constexpr DataSize operator+(DataSize a, DataSize b) { return DataSize{a.bytes_ + b.bytes_}; }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) { return DataSize{a.bytes_ - b.bytes_}; }
+  friend constexpr DataSize operator*(DataSize a, std::int64_t k) { return DataSize{a.bytes_ * k}; }
+  friend constexpr DataSize operator*(std::int64_t k, DataSize a) { return a * k; }
+  friend constexpr DataSize operator/(DataSize a, std::int64_t k) { return DataSize{a.bytes_ / k}; }
+  friend constexpr std::int64_t operator/(DataSize a, DataSize b) { return a.bytes_ / b.bytes_; }
+
+  friend constexpr auto operator<=>(DataSize, DataSize) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit DataSize(std::int64_t b) : bytes_{b} {}
+  std::int64_t bytes_{0};
+};
+
+/// A data rate, in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bits_per_sec(std::int64_t n) { return DataRate{n}; }
+  [[nodiscard]] static constexpr DataRate kilobits_per_sec(std::int64_t n) { return DataRate{n * 1'000}; }
+  [[nodiscard]] static constexpr DataRate megabits_per_sec(std::int64_t n) { return DataRate{n * 1'000'000}; }
+  [[nodiscard]] static constexpr DataRate gigabits_per_sec(std::int64_t n) { return DataRate{n * 1'000'000'000}; }
+
+  [[nodiscard]] constexpr std::int64_t count_bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double to_megabits_per_sec() const { return static_cast<double>(bps_) / 1e6; }
+  [[nodiscard]] constexpr double to_gigabits_per_sec() const { return static_cast<double>(bps_) / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0; }
+
+  /// Time to serialize `size` at this rate. Requires a non-zero rate.
+  [[nodiscard]] constexpr Duration transmission_time(DataSize size) const {
+    // bits * (1e9 ns/s) / (bits/s), computed in double to avoid overflow on
+    // large sizes, then rounded to the nearest nanosecond.
+    const double ns = static_cast<double>(size.count_bits()) * 1e9 / static_cast<double>(bps_);
+    return Duration::nanos(static_cast<std::int64_t>(ns + 0.5));
+  }
+
+  /// Data transferred in `d` at this rate (rounded down to whole bytes).
+  [[nodiscard]] constexpr DataSize transferred_in(Duration d) const {
+    const double bytes = static_cast<double>(bps_) / 8.0 * d.to_seconds();
+    return DataSize::bytes(static_cast<std::int64_t>(bytes));
+  }
+
+  friend constexpr DataRate operator+(DataRate a, DataRate b) { return DataRate{a.bps_ + b.bps_}; }
+  friend constexpr DataRate operator-(DataRate a, DataRate b) { return DataRate{a.bps_ - b.bps_}; }
+  friend constexpr DataRate operator*(DataRate a, std::int64_t k) { return DataRate{a.bps_ * k}; }
+  friend constexpr DataRate operator/(DataRate a, std::int64_t k) { return DataRate{a.bps_ / k}; }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit DataRate(std::int64_t bps) : bps_{bps} {}
+  std::int64_t bps_{0};
+};
+
+/// The average rate achieved by moving `size` over `elapsed` time.
+[[nodiscard]] constexpr DataRate rate_of(DataSize size, Duration elapsed) {
+  if (elapsed.is_zero()) return DataRate{};
+  const double bps = static_cast<double>(size.count_bits()) / elapsed.to_seconds();
+  return DataRate::bits_per_sec(static_cast<std::int64_t>(bps + 0.5));
+}
+
+}  // namespace fbdcsim::core

@@ -1,0 +1,205 @@
+// Fbflow: the fleet-wide sampled packet-header monitoring pipeline
+// (Section 3.3.1, Figure 3).
+//
+// Production Fbflow inserts an nflog target into every machine's iptables,
+// samples packet headers at 1:30,000, streams parsed headers through Scribe
+// to taggers that annotate rack/cluster/etc., and lands annotated records
+// in Scuba (real-time, per-minute granularity) and Hive. This module
+// reproduces that pipeline in-process:
+//
+//   PacketSampler / AnalyticSampler  ->  ScribeBus  ->  Tagger  ->  ScubaTable
+//
+// PacketSampler does per-packet counting-based sampling (packet-level rack
+// simulations); AnalyticSampler applies the statistically equivalent
+// Poisson thinning to FlowRecords (fleet-level flow simulations), which is
+// what makes 24-hour fleet runs tractable — the same reason the real system
+// samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fbdcsim/core/flow.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::monitoring {
+
+/// Default production sampling rate (1:30,000).
+inline constexpr std::int64_t kDefaultSamplingRate = 30'000;
+
+/// A sampled header as emitted by a host agent: parsed header fields plus
+/// the reporting machine and capture time (pre-annotation).
+struct SampledPacket {
+  core::TimePoint captured_at;
+  core::FiveTuple tuple;
+  std::int64_t frame_bytes{0};
+  core::HostId reporter;  // machine whose agent sampled the packet
+};
+
+/// Counting sampler: selects every Nth packet with a per-host random phase,
+/// the standard unbiased implementation of 1:N header sampling.
+class PacketSampler {
+ public:
+  PacketSampler(std::int64_t rate, core::RngStream& rng);
+
+  /// True if this packet is selected.
+  [[nodiscard]] bool sample();
+
+  [[nodiscard]] std::int64_t rate() const { return rate_; }
+
+ private:
+  std::int64_t rate_;
+  std::int64_t countdown_;
+};
+
+/// Poisson thinning of a whole flow: statistically equivalent to running
+/// PacketSampler over the flow's packets. Emits one SampledPacket per
+/// selected packet, with timestamps uniform over the flow's lifetime.
+class AnalyticSampler {
+ public:
+  AnalyticSampler(std::int64_t rate, core::RngStream rng) : rate_{rate}, rng_{rng} {}
+
+  using Emit = std::function<void(const SampledPacket&)>;
+  void sample_flow(const core::FlowRecord& flow, const Emit& emit);
+
+  [[nodiscard]] std::int64_t rate() const { return rate_; }
+
+ private:
+  std::int64_t rate_;
+  core::RngStream rng_;
+};
+
+/// A Scribe-like in-process log bus: agents publish, taggers subscribe.
+class ScribeBus {
+ public:
+  using Subscriber = std::function<void(const SampledPacket&)>;
+
+  void subscribe(Subscriber fn) { subscribers_.push_back(std::move(fn)); }
+  void publish(const SampledPacket& sample) {
+    ++published_;
+    for (const auto& fn : subscribers_) fn(sample);
+  }
+
+  [[nodiscard]] std::int64_t published() const { return published_; }
+
+ private:
+  std::vector<Subscriber> subscribers_;
+  std::int64_t published_{0};
+};
+
+/// A fully annotated sample, as the taggers hand to Scuba/Hive.
+struct TaggedSample {
+  SampledPacket sample;
+  core::HostId src_host;  // invalid if the address is unknown to the tagger
+  core::HostId dst_host;
+  core::HostRole src_role{core::HostRole::kService};
+  core::HostRole dst_role{core::HostRole::kService};
+  core::RackId src_rack;
+  core::RackId dst_rack;
+  core::ClusterId src_cluster;
+  core::ClusterId dst_cluster;
+  core::DatacenterId src_dc;
+  core::DatacenterId dst_dc;
+  core::Locality locality{core::Locality::kIntraRack};
+  std::int64_t minute{0};  // capture minute (Scuba aggregation granularity)
+};
+
+/// Annotates samples with topology metadata by address lookup, exactly the
+/// role of Fbflow's taggers.
+class Tagger {
+ public:
+  explicit Tagger(const topology::Fleet& fleet) : fleet_{&fleet} {}
+
+  /// Returns false if neither endpoint resolves to a fleet host.
+  [[nodiscard]] bool tag(const SampledPacket& sample, TaggedSample& out) const;
+
+ private:
+  const topology::Fleet* fleet_;
+};
+
+/// An in-memory, append-only analytic table over tagged samples with the
+/// aggregation queries the paper's analyses run in Scuba.
+class ScubaTable {
+ public:
+  void add(const TaggedSample& row) { rows_.push_back(row); }
+
+  [[nodiscard]] std::span<const TaggedSample> rows() const { return rows_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Estimated total bytes by locality (scaled by the sampling rate),
+  /// optionally restricted to sources in one cluster type.
+  struct LocalityBytes {
+    double bytes[core::kNumLocalities]{};
+    [[nodiscard]] double total() const;
+    /// Percentage share of each locality bucket.
+    [[nodiscard]] std::array<double, core::kNumLocalities> percentages() const;
+  };
+  [[nodiscard]] LocalityBytes locality_bytes(std::int64_t sampling_rate) const;
+  [[nodiscard]] LocalityBytes locality_bytes_for_cluster_type(
+      const topology::Fleet& fleet, topology::ClusterType type,
+      std::int64_t sampling_rate) const;
+
+  /// Estimated bytes grouped by source cluster type (Table 3 bottom row).
+  [[nodiscard]] std::vector<std::pair<topology::ClusterType, double>> bytes_by_cluster_type(
+      const topology::Fleet& fleet, std::int64_t sampling_rate) const;
+
+  /// Rack-to-rack estimated byte matrix restricted to one cluster
+  /// (Figure 5a/5b). Indexing is by position of the rack in the cluster.
+  [[nodiscard]] std::vector<std::vector<double>> rack_matrix(const topology::Fleet& fleet,
+                                                             core::ClusterId cluster,
+                                                             std::int64_t sampling_rate) const;
+
+  /// Cluster-to-cluster estimated byte matrix within one datacenter
+  /// (Figure 5c).
+  [[nodiscard]] std::vector<std::vector<double>> cluster_matrix(
+      const topology::Fleet& fleet, core::DatacenterId dc, std::int64_t sampling_rate) const;
+
+  /// Fleet-wide role-to-role estimated byte matrix (8x8, indexed by
+  /// HostRole) — the fleet generalization of Table 2.
+  [[nodiscard]] std::vector<std::vector<double>> role_matrix(
+      std::int64_t sampling_rate) const;
+
+  /// Estimated outbound bytes of one source host grouped by destination
+  /// role (Table 2).
+  [[nodiscard]] std::vector<std::pair<core::HostRole, double>> outbound_by_dest_role(
+      core::HostId src, std::int64_t sampling_rate) const;
+
+ private:
+  std::vector<TaggedSample> rows_;
+};
+
+/// Convenience: a fully wired agent->scribe->tagger->scuba pipeline.
+class FbflowPipeline {
+ public:
+  FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampling_rate,
+                 core::RngStream rng);
+
+  /// Fleet mode: offer a completed flow for analytic sampling.
+  void offer_flow(const core::FlowRecord& flow);
+
+  /// Packet mode: offer one packet observed at `reporter`.
+  void offer_packet(core::HostId reporter, const core::PacketHeader& header);
+
+  [[nodiscard]] const ScubaTable& scuba() const { return scuba_; }
+  [[nodiscard]] const ScribeBus& scribe() const { return scribe_; }
+  [[nodiscard]] std::int64_t sampling_rate() const { return sampling_rate_; }
+  [[nodiscard]] std::int64_t tag_failures() const { return tag_failures_; }
+
+ private:
+  std::int64_t sampling_rate_;
+  AnalyticSampler analytic_;
+  core::RngStream packet_rng_;  // must precede packet_sampler_
+  PacketSampler packet_sampler_;
+  ScribeBus scribe_;
+  Tagger tagger_;
+  ScubaTable scuba_;
+  std::int64_t tag_failures_{0};
+};
+
+}  // namespace fbdcsim::monitoring

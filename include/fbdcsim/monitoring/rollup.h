@@ -1,0 +1,57 @@
+// Hive-style long-term rollups (Section 3.3.1: Fbflow samples are "stored
+// into Hive tables for long-term analysis").
+//
+// Scuba answers real-time queries over raw tagged samples; long-horizon
+// questions — is the traffic matrix stable day-over-day (§4.3)? — work on
+// compact rollups instead. HiveRollup aggregates samples into per-day
+// cluster-to-cluster byte matrices and per-day locality vectors in O(days x
+// clusters^2) memory, independent of sample volume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fbdcsim/monitoring/fbflow.h"
+
+namespace fbdcsim::monitoring {
+
+class HiveRollup {
+ public:
+  HiveRollup(std::size_t num_clusters, std::int64_t sampling_rate)
+      : num_clusters_{num_clusters}, sampling_rate_{sampling_rate} {}
+
+  void add(const TaggedSample& sample);
+
+  [[nodiscard]] std::int64_t num_days() const {
+    return days_.empty() ? 0 : days_.rbegin()->first + 1;
+  }
+
+  /// Estimated cluster-to-cluster byte matrix for one day (flattened
+  /// row-major, clusters x clusters); zeros if the day has no samples.
+  [[nodiscard]] std::vector<double> cluster_matrix(std::int64_t day) const;
+
+  /// Estimated bytes by locality for one day.
+  [[nodiscard]] std::array<double, core::kNumLocalities> locality_vector(
+      std::int64_t day) const;
+
+  /// Cosine similarity between two days' cluster matrices — the §4.3
+  /// day-over-day stability metric (1.0 = identical direction of demand).
+  [[nodiscard]] double day_similarity(std::int64_t day_a, std::int64_t day_b) const;
+
+ private:
+  struct DayAgg {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> cluster_bytes;
+    std::array<double, core::kNumLocalities> locality_bytes{};
+  };
+
+  std::size_t num_clusters_;
+  std::int64_t sampling_rate_;
+  std::map<std::int64_t, DayAgg> days_;
+};
+
+/// Cosine similarity of two equally-sized flattened matrices.
+[[nodiscard]] double cosine_similarity(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+}  // namespace fbdcsim::monitoring

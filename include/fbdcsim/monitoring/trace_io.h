@@ -1,0 +1,40 @@
+// Packet-header trace serialization.
+//
+// The paper's collection hosts spool captured headers to remote storage for
+// offline analysis (§3.3.2). This module provides that boundary: a compact
+// binary format ("FBTR") for captured traces, so expensive captures can be
+// taken once and analyzed many times, plus a CSV exporter for ad-hoc
+// tooling. The format is versioned and checksummed; readers reject
+// truncated or corrupted files instead of silently mis-parsing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fbdcsim/core/packet.h"
+
+namespace fbdcsim::monitoring {
+
+/// Result of a read attempt.
+struct TraceReadResult {
+  bool ok{false};
+  std::string error;            // set when !ok
+  std::vector<core::PacketHeader> trace;
+};
+
+/// Writes a trace in FBTR binary format. Returns false on I/O failure.
+bool write_trace(std::ostream& out, std::span<const core::PacketHeader> trace);
+bool write_trace_file(const std::string& path, std::span<const core::PacketHeader> trace);
+
+/// Reads an FBTR trace, validating magic, version, and checksum.
+[[nodiscard]] TraceReadResult read_trace(std::istream& in);
+[[nodiscard]] TraceReadResult read_trace_file(const std::string& path);
+
+/// Writes a human/tool-readable CSV (timestamp_ns, src, sport, dst, dport,
+/// proto, frame_bytes, payload_bytes, flags).
+bool write_trace_csv(std::ostream& out, std::span<const core::PacketHeader> trace);
+
+}  // namespace fbdcsim::monitoring

@@ -1,0 +1,116 @@
+// Backend service models: Multifeed, SLB, Database, and miscellaneous
+// Service hosts. These roles complete the request pipeline of Figure 2 and
+// the cluster mix of Table 3; they are simpler than the Web/cache/Hadoop
+// models but fully functional, so any rack in the fleet can be monitored.
+#pragma once
+
+#include <memory>
+
+#include "fbdcsim/core/distributions.h"
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/services/connections.h"
+#include "fbdcsim/services/params.h"
+#include "fbdcsim/services/peer_selection.h"
+#include "fbdcsim/services/traffic_model.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::services {
+
+/// Multifeed / ads aggregation backends: answer Web-tier RPCs with ranked
+/// feed fragments; receive invalidations from cache leaders.
+class MultifeedModel : public TrafficModel {
+ public:
+  MultifeedModel(const topology::Fleet& fleet, core::HostId self, const ServiceMix& mix,
+                 core::RngStream rng);
+  void start(sim::Simulator& sim, TrafficSink& sink) override;
+
+ private:
+  void schedule_next_request();
+
+  const topology::Fleet* fleet_;
+  core::HostId self_;
+  const ServiceMix* mix_;
+  core::RngStream rng_;
+  PeerSelector peers_;
+  ConnectionTable conns_;
+  core::LogNormal response_size_;
+  sim::Simulator* sim_{nullptr};
+  std::unique_ptr<Wire> wire_;
+};
+
+/// Layer-4 software load balancers: user requests in from the edge, pages
+/// out to users; request forwarding to Web servers spread across the
+/// cluster (the load-balancing mechanism itself).
+class SlbModel : public TrafficModel {
+ public:
+  SlbModel(const topology::Fleet& fleet, core::HostId self, const ServiceMix& mix,
+           core::RngStream rng);
+  void start(sim::Simulator& sim, TrafficSink& sink) override;
+
+ private:
+  void schedule_next_request();
+
+  const topology::Fleet* fleet_;
+  core::HostId self_;
+  const ServiceMix* mix_;
+  core::RngStream rng_;
+  PeerSelector peers_;
+  ConnectionTable conns_;
+  core::LogNormal page_size_;
+  sim::Simulator* sim_{nullptr};
+  std::unique_ptr<Wire> wire_;
+};
+
+/// MySQL database servers: serve cache-leader queries and replicate to
+/// sibling databases within the cluster, across the datacenter, and across
+/// sites in roughly even proportion (Table 3 DB row).
+class DatabaseModel : public TrafficModel {
+ public:
+  DatabaseModel(const topology::Fleet& fleet, core::HostId self, const ServiceMix& mix,
+                core::RngStream rng);
+  void start(sim::Simulator& sim, TrafficSink& sink) override;
+
+ private:
+  void schedule_next_query();
+  void schedule_next_replication();
+
+  const topology::Fleet* fleet_;
+  core::HostId self_;
+  const ServiceMix* mix_;
+  core::RngStream rng_;
+  PeerSelector peers_;
+  ConnectionTable conns_;
+  core::LogNormal response_size_;
+  std::vector<core::HostId> replica_peers_;
+  sim::Simulator* sim_{nullptr};
+  std::unique_ptr<Wire> wire_;
+};
+
+/// Miscellaneous supporting services: log sinks, config distribution,
+/// monitoring. Mostly passive receivers with light background chatter.
+class ServiceHostModel : public TrafficModel {
+ public:
+  ServiceHostModel(const topology::Fleet& fleet, core::HostId self, const ServiceMix& mix,
+                   core::RngStream rng);
+  void start(sim::Simulator& sim, TrafficSink& sink) override;
+
+ private:
+  void schedule_next_message();
+
+  const topology::Fleet* fleet_;
+  core::HostId self_;
+  const ServiceMix* mix_;
+  core::RngStream rng_;
+  PeerSelector peers_;
+  ConnectionTable conns_;
+  sim::Simulator* sim_{nullptr};
+  std::unique_ptr<Wire> wire_;
+};
+
+/// Constructs the model matching a host's role.
+[[nodiscard]] std::unique_ptr<TrafficModel> make_model(const topology::Fleet& fleet,
+                                                       core::HostId host,
+                                                       const ServiceMix& mix,
+                                                       core::RngStream rng);
+
+}  // namespace fbdcsim::services

@@ -1,0 +1,65 @@
+// Hadoop traffic model (Sections 4.2, 5.1, 6; Table 2 row "Hadoop").
+//
+// The node alternates between quiet computation and network-busy shuffle /
+// HDFS-output phases. During busy phases it launches bulk transfers whose
+// destinations are rack-local with probability ~0.76 (map-input locality
+// and first-replica placement) and otherwise spread over a fixed partner
+// set covering ~1.5% of the cluster's hosts across most racks (the
+// Kandula-style pattern the paper confirms for Hadoop). Transfers ride
+// ephemeral connections, making flows short and packets bimodal (MTU data
+// plus ACKs, Figure 12); 99.8% of bytes stay within the Hadoop service.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fbdcsim/core/distributions.h"
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/services/connections.h"
+#include "fbdcsim/services/params.h"
+#include "fbdcsim/services/peer_selection.h"
+#include "fbdcsim/services/traffic_model.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::services {
+
+class HadoopModel : public TrafficModel {
+ public:
+  HadoopModel(const topology::Fleet& fleet, core::HostId self, const ServiceMix& mix,
+              core::RngStream rng);
+
+  void start(sim::Simulator& sim, TrafficSink& sink) override;
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::span<const core::HostId> partners() const { return partners_; }
+
+ private:
+  void enter_quiet();
+  void enter_busy();
+  void schedule_next_transfer();
+  void launch_transfer(bool inbound);
+  void start_shuffle_streams(std::uint64_t epoch);
+  void schedule_stream_chunk(std::uint64_t epoch, Connection conn, bool inbound,
+                             core::TimePoint at);
+  void schedule_next_control();
+
+  const topology::Fleet* fleet_;
+  core::HostId self_;
+  const ServiceMix* mix_;
+  core::RngStream rng_;
+
+  PeerSelector peers_;
+  ConnectionTable conns_;
+  core::LogNormal transfer_size_;
+
+  sim::Simulator* sim_{nullptr};
+  TrafficSink* sink_{nullptr};
+  std::unique_ptr<Wire> wire_;
+
+  bool busy_{false};
+  std::uint64_t phase_epoch_{0};  // invalidates stale phase-scoped events
+  std::vector<core::HostId> partners_;       // cluster-spread partner set
+  std::vector<core::HostId> rack_partners_;  // rack-local peers
+};
+
+}  // namespace fbdcsim::services

@@ -1,0 +1,49 @@
+// The endpoint-centric traffic-model framework.
+//
+// A TrafficModel synthesizes the packet streams observed at one monitored
+// host: everything the host sends, and everything that arrives for it from
+// peers outside its rack. (Intra-rack arrivals are produced by the rack
+// neighbours' own models, so rack-local traffic is never double-counted;
+// see workload/rack_sim.h.) This mirrors the paper's methodology exactly —
+// port mirroring sees one host's bidirectional stream — and lets a 2-minute
+// trace of a 300-rack fleet cost only the monitored rack's packets.
+#pragma once
+
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/sim/simulator.h"
+#include "fbdcsim/switching/switch.h"
+
+namespace fbdcsim::services {
+
+using switching::SimPacket;
+
+/// Where a model's packets go. Implemented by the rack simulation.
+class TrafficSink {
+ public:
+  virtual ~TrafficSink() = default;
+
+  /// A packet leaves the model's host NIC at the current simulated time.
+  virtual void host_send(const SimPacket& packet) = 0;
+
+  /// A packet from outside the rack arrives at the RSW destined to the
+  /// model's host at the current simulated time.
+  virtual void host_receive(const SimPacket& packet) = 0;
+};
+
+/// A per-host traffic generator. Implementations are the per-role service
+/// models (web.h, cache.h, hadoop.h, backend.h).
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+
+  TrafficModel() = default;
+  TrafficModel(const TrafficModel&) = delete;
+  TrafficModel& operator=(const TrafficModel&) = delete;
+
+  /// Begins generating traffic. The model must only schedule events at or
+  /// after the current simulated time and deliver packets through `sink`
+  /// (which must outlive the simulation run).
+  virtual void start(sim::Simulator& sim, TrafficSink& sink) = 0;
+};
+
+}  // namespace fbdcsim::services

@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over a priority queue of (time, sequence,
+// action). Equal-time events fire in scheduling order (FIFO), which makes
+// every run deterministic — a prerequisite for the reproducibility promises
+// in DESIGN.md §6.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "fbdcsim/core/time.h"
+
+namespace fbdcsim::sim {
+
+using core::Duration;
+using core::TimePoint;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (must not be in the past).
+  void schedule_at(TimePoint at, Action action);
+
+  /// Schedules `action` after a delay from now.
+  void schedule_after(Duration delay, Action action) { schedule_at(now_ + delay, std::move(action)); }
+
+  /// Runs events until the queue is empty or the horizon is passed. Events
+  /// strictly after `horizon` remain queued; time stops at the horizon.
+  void run_until(TimePoint horizon);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Discards all pending events (the clock is unchanged).
+  void clear();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A repeating timer helper: invokes `tick` every `period` until cancelled
+/// or the simulator stops. The callback receives the firing time.
+class PeriodicTimer {
+ public:
+  using Tick = std::function<void(TimePoint)>;
+
+  PeriodicTimer(Simulator& sim, Duration period, Tick tick);
+  ~PeriodicTimer() { cancel(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void cancel() { *alive_ = false; }
+
+ private:
+  void arm(TimePoint at);
+
+  Simulator* sim_;
+  Duration period_;
+  Tick tick_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace fbdcsim::sim

@@ -1,0 +1,55 @@
+// Location-encoding IPv4 addressing.
+//
+// The synthetic fleet assigns each host an address 10.D.R.H where D encodes
+// (site, datacenter), R encodes (cluster, rack-within-cluster), and H the
+// host-within-rack. This mirrors the practice of hierarchical address
+// allocation in real fabrics and — more importantly for this reproduction —
+// lets the Fbflow tagger annotate a sampled header with rack/cluster/DC by
+// address arithmetic alone, exactly as the paper's taggers do by metadata
+// lookup (Section 3.3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fbdcsim/core/addr.h"
+#include "fbdcsim/core/ids.h"
+
+namespace fbdcsim::topology {
+
+/// The packed location of a host: everything a tagger needs.
+struct HostLocation {
+  core::SiteId site;
+  core::DatacenterId datacenter;
+  core::ClusterId cluster;
+  core::RackId rack;
+  core::HostId host;
+};
+
+/// Bidirectional mapping between dense topology coordinates and addresses.
+///
+/// Layout (host byte order): 0x0A | dc(8) | rack_low(8) | host(8), with the
+/// cluster and global rack index recoverable through the fleet tables. The
+/// addressing scheme supports up to 255 datacenters, 255 racks per
+/// addressing block, and 254 hosts per rack; the builder allocates blocks so
+/// collisions cannot occur for fleets within these bounds.
+class AddressPlan {
+ public:
+  /// Computes the address for the host with the given dense coordinates.
+  /// `rack_in_dc` is the rack's index within its datacenter; `host_in_rack`
+  /// the host's index within its rack.
+  [[nodiscard]] static core::Ipv4Addr address_for(std::uint32_t dc_index,
+                                                  std::uint32_t rack_in_dc,
+                                                  std::uint32_t host_in_rack);
+
+  /// Extracts (dc_index, rack_in_dc, host_in_rack) from an address produced
+  /// by address_for; nullopt for addresses outside 10/8.
+  struct Coordinates {
+    std::uint32_t dc_index;
+    std::uint32_t rack_in_dc;
+    std::uint32_t host_in_rack;
+  };
+  [[nodiscard]] static std::optional<Coordinates> coordinates_of(core::Ipv4Addr addr);
+};
+
+}  // namespace fbdcsim::topology

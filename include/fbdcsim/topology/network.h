@@ -1,0 +1,168 @@
+// The physical interconnect: switches and links of the 4-post Clos design
+// (Figure 1) plus the routing used to map flows onto links.
+//
+// Per cluster: every rack has a top-of-rack switch (RSW) connected by
+// 10-Gbps uplinks to four cluster switches (CSWs). CSWs connect upward to a
+// per-datacenter "Fat Cat" (FC) aggregation layer, to intra-site aggregators
+// for inter-datacenter traffic, and to datacenter routers (DR) for
+// inter-site traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fbdcsim/core/ids.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/units.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::topology {
+
+using core::LinkId;
+using core::SwitchId;
+
+enum class SwitchKind : std::uint8_t {
+  kRsw,     // top-of-rack
+  kCsw,     // cluster switch (4 per cluster)
+  kFc,      // Fat Cat datacenter aggregation
+  kSiteAgg, // intra-site, inter-datacenter aggregation
+  kDr,      // datacenter router (inter-site)
+};
+
+[[nodiscard]] const char* to_string(SwitchKind kind);
+
+/// One endpoint of a link: either a host NIC or a switch.
+struct NodeRef {
+  enum class Kind : std::uint8_t { kHost, kSwitch };
+  Kind kind{Kind::kSwitch};
+  std::uint32_t index{0};  // HostId or SwitchId value
+
+  [[nodiscard]] static NodeRef host(core::HostId id) {
+    return NodeRef{Kind::kHost, id.value()};
+  }
+  [[nodiscard]] static NodeRef sw(SwitchId id) { return NodeRef{Kind::kSwitch, id.value()}; }
+
+  friend constexpr bool operator==(NodeRef, NodeRef) = default;
+};
+
+struct Switch {
+  SwitchId id;
+  SwitchKind kind{SwitchKind::kRsw};
+  // The entity this switch serves (rack for RSW, cluster for CSW, DC for FC
+  // and DR, site for SiteAgg). Unused levels hold invalid ids.
+  core::RackId rack;
+  core::ClusterId cluster;
+  core::DatacenterId datacenter;
+  core::SiteId site;
+};
+
+/// A unidirectional link. Physical cables are full duplex; we model each
+/// direction separately because utilization and drops are per-direction.
+struct Link {
+  LinkId id;
+  NodeRef from;
+  NodeRef to;
+  core::DataRate capacity;
+};
+
+/// The interconnect graph for a Fleet, built by FourPostBuilder.
+class Network {
+ public:
+  [[nodiscard]] std::span<const Switch> switches() const { return switches_; }
+  [[nodiscard]] std::span<const Link> links() const { return links_; }
+
+  [[nodiscard]] const Switch& sw(SwitchId id) const { return switches_.at(id.value()); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id.value()); }
+
+  /// The RSW serving a rack.
+  [[nodiscard]] SwitchId rsw_of(core::RackId rack) const { return rsw_by_rack_.at(rack.value()); }
+  /// The four CSWs of a cluster.
+  [[nodiscard]] std::span<const SwitchId> csws_of(core::ClusterId cluster) const;
+  /// The FC switches of a datacenter.
+  [[nodiscard]] std::span<const SwitchId> fcs_of(core::DatacenterId dc) const;
+  /// The intra-site aggregation switches of a site.
+  [[nodiscard]] std::span<const SwitchId> siteaggs_of(core::SiteId site) const;
+  /// The datacenter router of a datacenter.
+  [[nodiscard]] SwitchId dr_of(core::DatacenterId dc) const {
+    return dr_by_dc_.at(dc.value());
+  }
+
+  /// The link from one node to another, if directly connected.
+  [[nodiscard]] LinkId find_link(NodeRef from, NodeRef to) const;
+
+  /// Links leaving a node.
+  [[nodiscard]] std::span<const LinkId> links_from(NodeRef node) const;
+
+  /// The access link host -> RSW (uplink direction).
+  [[nodiscard]] LinkId access_uplink(core::HostId host) const {
+    return host_uplink_.at(host.value());
+  }
+  /// The access link RSW -> host (downlink direction).
+  [[nodiscard]] LinkId access_downlink(core::HostId host) const {
+    return host_downlink_.at(host.value());
+  }
+
+ private:
+  friend class FourPostBuilder;
+  friend class NetworkBuild;  // construction helper (network.cpp)
+
+  [[nodiscard]] std::size_t node_key(NodeRef node) const;
+
+  std::vector<Switch> switches_;
+  std::vector<Link> links_;
+  std::vector<SwitchId> rsw_by_rack_;                 // indexed by RackId
+  std::vector<std::vector<SwitchId>> csw_by_cluster_; // indexed by ClusterId
+  std::vector<std::vector<SwitchId>> fc_by_dc_;       // indexed by DatacenterId
+  std::vector<std::vector<SwitchId>> siteagg_by_site_;// indexed by SiteId
+  std::vector<SwitchId> dr_by_dc_;                    // indexed by DatacenterId
+  std::vector<LinkId> host_uplink_;                   // indexed by HostId
+  std::vector<LinkId> host_downlink_;                 // indexed by HostId
+  std::vector<std::vector<LinkId>> out_links_;        // indexed by node key
+  std::size_t num_hosts_{0};
+};
+
+/// Capacities for the 4-post build. Defaults follow the paper: 10-Gbps
+/// edge and RSW uplinks, 40-Gbps aggregation links (Section 4.1 discusses
+/// the 1->10 edge vs 10->40 aggregation upgrade disparity).
+struct FourPostConfig {
+  core::DataRate access = core::DataRate::gigabits_per_sec(10);
+  core::DataRate rsw_to_csw = core::DataRate::gigabits_per_sec(10);
+  core::DataRate csw_to_fc = core::DataRate::gigabits_per_sec(40);
+  core::DataRate csw_to_siteagg = core::DataRate::gigabits_per_sec(40);
+  core::DataRate csw_to_dr = core::DataRate::gigabits_per_sec(40);
+  int csws_per_cluster = 4;
+  int fcs_per_datacenter = 4;
+  int siteaggs_per_site = 2;
+  /// Number of RSW->CSW uplinks per (RSW, CSW) pair.
+  int uplinks_per_csw = 1;
+};
+
+/// Builds the Clos interconnect for an existing Fleet.
+class FourPostBuilder {
+ public:
+  explicit FourPostBuilder(FourPostConfig config = {}) : config_{config} {}
+
+  [[nodiscard]] Network build(const Fleet& fleet) const;
+
+ private:
+  FourPostConfig config_;
+};
+
+/// Deterministic ECMP routing over a 4-post Network: computes the sequence
+/// of links a flow traverses from src to dst, hashing the 5-tuple to pick
+/// among equal-cost CSW/FC choices (as production ECMP does).
+class Router {
+ public:
+  Router(const Fleet& fleet, const Network& network) : fleet_{&fleet}, network_{&network} {}
+
+  /// Links traversed (in order) by packets of `tuple` from src to dst.
+  [[nodiscard]] std::vector<LinkId> route(core::HostId src, core::HostId dst,
+                                          const core::FiveTuple& tuple) const;
+
+ private:
+  const Fleet* fleet_;
+  const Network* network_;
+};
+
+}  // namespace fbdcsim::topology

@@ -1,0 +1,51 @@
+// Canonical scaled-down fleets used by tests, examples, and benches.
+//
+// The paper's fleet has hundreds of thousands of hosts; our experiments run
+// on proportionally shrunken versions that preserve the *structure*: the
+// cluster-type mix of Table 3, role-homogeneous racks, Frontend clusters
+// mixing Web/cache-follower/Multifeed/SLB racks in roughly the 75%/20%/few
+// proportions of Figure 5b, and cache-leader / Hadoop / DB / Service
+// clusters as units of deployment.
+#pragma once
+
+#include <cstddef>
+
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::topology {
+
+struct StandardFleetConfig {
+  std::size_t sites = 2;
+  std::size_t datacenters_per_site = 2;
+  /// Cluster counts per datacenter, by type.
+  std::size_t frontend_clusters = 2;
+  std::size_t cache_clusters = 1;
+  std::size_t hadoop_clusters = 1;
+  std::size_t database_clusters = 1;
+  std::size_t service_clusters = 1;
+  /// Racks per cluster and hosts per rack.
+  std::size_t racks_per_cluster = 16;
+  std::size_t hosts_per_rack = 8;
+  /// Cache (leader) clusters are typically smaller deployment units; 0
+  /// means "same as racks_per_cluster".
+  std::size_t cache_racks_per_cluster = 0;
+
+  /// Frontend cluster rack mix (must sum to <= racks_per_cluster; the
+  /// remainder becomes SLB racks). Defaults approximate Figure 5b:
+  /// ~75% Web servers, ~20% cache followers, few Multifeed.
+  std::size_t frontend_web_racks = 12;
+  std::size_t frontend_cache_racks = 3;
+  std::size_t frontend_multifeed_racks = 1;
+};
+
+/// Builds a fleet with the standard structure. Throws std::invalid_argument
+/// if the Frontend rack mix exceeds racks_per_cluster or any dimension is 0.
+[[nodiscard]] Fleet build_standard_fleet(const StandardFleetConfig& config = {});
+
+/// A minimal single-cluster fleet for focused tests: one cluster of the
+/// given type with `racks` racks of `hosts_per_rack` hosts. Frontend
+/// clusters get the standard rack mix scaled to `racks`.
+[[nodiscard]] Fleet build_single_cluster_fleet(ClusterType type, std::size_t racks = 16,
+                                               std::size_t hosts_per_rack = 8);
+
+}  // namespace fbdcsim::topology

@@ -1,0 +1,47 @@
+// The prior-literature baseline workload (the "Previously published data"
+// column of Table 1).
+//
+// Generates a single host's packet trace with the characteristics reported
+// for Microsoft-style datacenters: heavily rack-local destinations (50-80%
+// [Benson et al., Delimitrou et al.]), ON/OFF packet arrivals with
+// log-normal inter-arrivals and period lengths [Benson et al.], bimodal
+// packet sizes (TCP ACKs or near-MTU) [Benson et al.], and fewer than five
+// concurrent large flows [Alizadeh et al.]. The contrast benches run the
+// same analyses over this trace and over the Facebook-style traces to make
+// Table 1's "finding vs. literature" comparisons concrete.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::workload {
+
+struct LiteratureWorkloadConfig {
+  /// Fraction of traffic destined within the source rack.
+  double rack_local_fraction = 0.65;
+  /// Fraction of non-rack traffic leaving the cluster.
+  double off_cluster_fraction = 0.15;
+  /// Concurrent destination set size (Alizadeh et al.: < 5).
+  int concurrent_destinations = 4;
+  /// ON/OFF process: log-normal period medians and sigma.
+  double on_period_median_ms = 2.0;
+  double off_period_median_ms = 8.0;
+  double period_sigma = 1.0;
+  /// Packet inter-arrival within an ON period (log-normal, Benson et al.).
+  double interarrival_median_us = 50.0;
+  double interarrival_sigma = 0.8;
+  /// Bimodal sizes: probability of a full-MTU packet (else ACK-sized).
+  double mtu_fraction = 0.55;
+  std::uint64_t seed = 7;
+};
+
+/// Generates the baseline trace for `host` over `duration`.
+[[nodiscard]] std::vector<core::PacketHeader> generate_literature_trace(
+    const topology::Fleet& fleet, core::HostId host, core::Duration duration,
+    const LiteratureWorkloadConfig& config = {});
+
+}  // namespace fbdcsim::workload

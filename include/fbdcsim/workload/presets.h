@@ -1,0 +1,33 @@
+// Canonical fleets and configurations used by the benches and examples, so
+// every experiment runs against the same simulated "datacenter" unless it
+// deliberately varies it.
+#pragma once
+
+#include "fbdcsim/topology/standard_fleet.h"
+#include "fbdcsim/workload/rack_sim.h"
+
+namespace fbdcsim::workload {
+
+/// The fleet used for packet-level (port-mirror) experiments: large
+/// clusters so destination dispersion matches the paper (a cache follower
+/// touches ~250 racks in 5 ms; Frontend clusters have hundreds of racks).
+/// Only the monitored rack is packet-simulated, so fleet size costs memory,
+/// not events.
+[[nodiscard]] topology::Fleet build_rack_experiment_fleet();
+
+/// The smaller fleet used for fleet-level (Fbflow) experiments, where every
+/// host generates flows over long horizons.
+[[nodiscard]] topology::Fleet build_fleet_experiment_fleet();
+
+/// A monitored host of the given role in the rack-experiment fleet (the
+/// first host of the first rack of that role in the first matching
+/// cluster), mirroring the paper's five monitored racks.
+[[nodiscard]] core::HostId monitored_host(const topology::Fleet& fleet, core::HostRole role);
+
+/// Default RackSimConfig for a monitored host of the given role: whole-rack
+/// mirroring for Web racks (as in the paper), single-host otherwise.
+[[nodiscard]] RackSimConfig default_rack_config(const topology::Fleet& fleet,
+                                                core::HostRole role,
+                                                core::Duration capture = core::Duration::seconds(30));
+
+}  // namespace fbdcsim::workload

@@ -1,0 +1,114 @@
+// Rack-level packet simulation: the synthetic analogue of the paper's
+// port-mirroring deployments (Section 3.3.2).
+//
+// Instantiates the per-role traffic model for every host of one rack, wires
+// them into a shared-buffer RSW (per-host downlink ports plus four ECMP
+// uplink ports), mirrors the monitored host's — or the whole rack's —
+// bidirectional traffic into a CaptureBuffer, and optionally samples the
+// switch buffer at 10-us granularity. The result of a run is exactly what
+// the paper's collection servers spool to storage: a timestamped
+// packet-header trace plus switch counters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/monitoring/capture.h"
+#include "fbdcsim/services/backend.h"
+#include "fbdcsim/services/params.h"
+#include "fbdcsim/services/traffic_model.h"
+#include "fbdcsim/sim/simulator.h"
+#include "fbdcsim/switching/switch.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::workload {
+
+struct RackSimConfig {
+  /// The host whose traffic is captured. Required.
+  core::HostId monitored_host;
+  /// Mirror every host in the rack (the paper does this for Web racks,
+  /// whose utilization is low enough to mirror a whole rack losslessly).
+  bool mirror_whole_rack = false;
+  /// Traffic generated before the capture window opens, so connection
+  /// pools and Hadoop phases reach steady state.
+  core::Duration warmup = core::Duration::seconds(2);
+  /// Length of the mirrored capture.
+  core::Duration capture = core::Duration::seconds(60);
+  /// RSW configuration (buffer size, DT alpha).
+  switching::SwitchConfig rsw;
+  int uplink_ports = 4;
+  /// Enable the 10-us buffer occupancy sampler (Figure 15).
+  bool sample_buffer = false;
+  /// Collection-host memory for the capture (bounds trace length).
+  std::int64_t capture_memory_bytes = 8LL * 1024 * 1024 * 1024;
+  std::uint64_t seed = 1;
+  services::ServiceMix mix;
+  /// Rate multiplier applied to rack neighbours that are NOT mirrored.
+  /// Their traffic only matters for switch-buffer pressure, so analyses of
+  /// the mirrored host's trace are unaffected; keep at 1.0 for the buffer
+  /// experiments (Figure 15), lower it to speed up trace-only experiments.
+  double background_rate_scale = 1.0;
+};
+
+struct RackSimResult {
+  /// The mirrored packet-header trace, in timestamp order, capture window
+  /// only (timestamps are absolute simulation time).
+  std::vector<core::PacketHeader> trace;
+  /// Capture losses (should be zero; the paper's RSWs mirror losslessly).
+  std::int64_t capture_dropped{0};
+  /// Per-second buffer occupancy stats, when sampling was enabled.
+  std::vector<switching::BufferOccupancySampler::SecondStats> buffer_seconds;
+  /// Aggregate uplink counters over the whole run (all uplink ports).
+  switching::PortCounters uplink;
+  /// Aggregate downlink (host-port) counters.
+  switching::PortCounters downlinks;
+  /// Total simulation events executed (performance observability).
+  std::uint64_t events{0};
+  core::TimePoint capture_start;
+  core::TimePoint capture_end;
+};
+
+/// Runs one rack-level packet simulation. The fleet must outlive the run.
+class RackSimulation : public services::TrafficSink {
+ public:
+  RackSimulation(const topology::Fleet& fleet, RackSimConfig config);
+  ~RackSimulation() override;
+
+  RackSimulation(const RackSimulation&) = delete;
+  RackSimulation& operator=(const RackSimulation&) = delete;
+
+  [[nodiscard]] RackSimResult run();
+
+  // TrafficSink interface (used by the service models).
+  void host_send(const services::SimPacket& packet) override;
+  void host_receive(const services::SimPacket& packet) override;
+
+ private:
+  [[nodiscard]] std::size_t egress_port_for(const services::SimPacket& packet) const;
+  void observe(const core::PacketHeader& header);
+
+  const topology::Fleet* fleet_;
+  RackSimConfig config_;
+  services::ServiceMix background_mix_;
+  core::RackId rack_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<switching::SharedBufferSwitch> rsw_;
+  std::unique_ptr<switching::BufferOccupancySampler> sampler_;
+  monitoring::CaptureBuffer capture_buffer_;
+  std::unique_ptr<monitoring::PortMirror> mirror_;
+  std::vector<std::unique_ptr<services::TrafficModel>> models_;
+
+  /// Port map: ports [0, hosts) are host downlinks (rack position order);
+  /// ports [hosts, hosts + uplinks) are CSW uplinks.
+  std::size_t num_host_ports_{0};
+  core::TimePoint capture_start_;
+  bool capturing_{false};
+};
+
+/// Multiplies every rate-valued field of the mix by `factor` — used by the
+/// diurnal Figure 15 bench and load sweeps.
+[[nodiscard]] services::ServiceMix scale_rates(const services::ServiceMix& mix, double factor);
+
+}  // namespace fbdcsim::workload

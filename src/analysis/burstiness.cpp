@@ -1,0 +1,82 @@
+#include "fbdcsim/analysis/burstiness.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fbdcsim::analysis {
+
+core::Cdf flow_duty_cycles(std::span<const core::PacketHeader> trace,
+                           core::Ipv4Addr outbound_from, core::Duration bin,
+                           std::int64_t min_packets) {
+  struct FlowBins {
+    std::int64_t first_bin{0};
+    std::int64_t last_bin{0};
+    std::unordered_set<std::int64_t> active;
+    std::int64_t packets{0};
+  };
+  std::unordered_map<core::FiveTuple, FlowBins> flows;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const std::int64_t b = pkt.timestamp.bin_index(bin);
+    auto [it, inserted] = flows.try_emplace(pkt.tuple);
+    FlowBins& f = it->second;
+    if (inserted) {
+      f.first_bin = b;
+      f.last_bin = b;
+    }
+    f.first_bin = std::min(f.first_bin, b);
+    f.last_bin = std::max(f.last_bin, b);
+    f.active.insert(b);
+    ++f.packets;
+  }
+
+  core::Cdf out;
+  for (const auto& [tuple, f] : flows) {
+    if (f.packets < min_packets) continue;
+    const std::int64_t span = f.last_bin - f.first_bin + 1;
+    if (span < 2) continue;
+    out.add(static_cast<double>(f.active.size()) / static_cast<double>(span));
+  }
+  return out;
+}
+
+TrainStats packet_trains(std::span<const core::PacketHeader> trace,
+                         core::Ipv4Addr outbound_from, core::Duration max_gap) {
+  TrainStats stats;
+  bool in_train = false;
+  core::TimePoint train_start;
+  core::TimePoint last_packet;
+  std::int64_t train_packets = 0;
+  std::int64_t train_bytes = 0;
+
+  auto close_train = [&](core::TimePoint next_start, bool has_next) {
+    stats.packets_per_train.add(static_cast<double>(train_packets));
+    stats.bytes_per_train.add(static_cast<double>(train_bytes));
+    stats.train_duration_us.add((last_packet - train_start).to_micros());
+    if (has_next) {
+      stats.gap_between_trains_us.add((next_start - last_packet).to_micros());
+    }
+  };
+
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    if (!in_train) {
+      in_train = true;
+      train_start = pkt.timestamp;
+      train_packets = 0;
+      train_bytes = 0;
+    } else if (pkt.timestamp - last_packet > max_gap) {
+      close_train(pkt.timestamp, true);
+      train_start = pkt.timestamp;
+      train_packets = 0;
+      train_bytes = 0;
+    }
+    ++train_packets;
+    train_bytes += pkt.frame_bytes;
+    last_packet = pkt.timestamp;
+  }
+  if (in_train) close_train({}, false);
+  return stats;
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,109 @@
+#include "fbdcsim/analysis/concurrency.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fbdcsim/analysis/heavy_hitters.h"
+
+namespace fbdcsim::analysis {
+
+namespace {
+
+/// Per-window accumulation of (rack key -> bytes, locality) for one host's
+/// outbound traffic.
+struct Window {
+  std::unordered_map<std::uint64_t, double> rack_bytes;
+  std::unordered_map<std::uint64_t, core::Locality> rack_locality;
+  std::unordered_set<std::uint64_t> tuples;
+  std::unordered_set<std::uint32_t> hosts;
+};
+
+template <typename PerWindow>
+void for_each_window(std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+                     const AddrResolver* resolver, core::Duration window,
+                     const PerWindow& visit) {
+  std::unordered_map<std::int64_t, Window> windows;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const std::int64_t w = pkt.timestamp.bin_index(window);
+    Window& win = windows[w];
+    win.tuples.insert(std::hash<core::FiveTuple>{}(pkt.tuple));
+    win.hosts.insert(pkt.tuple.dst_ip.value());
+    if (resolver != nullptr) {
+      const auto rack = resolver->rack_of(pkt.tuple.dst_ip);
+      const auto loc = resolver->locality(pkt.tuple.src_ip, pkt.tuple.dst_ip);
+      if (rack && loc) {
+        win.rack_bytes[rack->value()] += static_cast<double>(pkt.frame_bytes);
+        win.rack_locality[rack->value()] = *loc;
+      }
+    }
+  }
+  for (const auto& [index, win] : windows) visit(win);
+}
+
+void count_by_locality(const Window& win, const std::unordered_set<std::uint64_t>* restrict_to,
+                       ConcurrencyCdfs& out) {
+  std::int64_t cluster = 0;
+  std::int64_t dc = 0;
+  std::int64_t inter = 0;
+  std::int64_t all = 0;
+  for (const auto& [rack, loc] : win.rack_locality) {
+    if (restrict_to != nullptr && !restrict_to->contains(rack)) continue;
+    ++all;
+    switch (loc) {
+      case core::Locality::kIntraRack:
+        break;  // counted in "all" only; figures plot cluster and beyond
+      case core::Locality::kIntraCluster:
+        ++cluster;
+        break;
+      case core::Locality::kIntraDatacenter:
+        ++dc;
+        break;
+      case core::Locality::kInterDatacenter:
+        ++inter;
+        break;
+    }
+  }
+  out.intra_cluster.add(static_cast<double>(cluster));
+  out.intra_datacenter.add(static_cast<double>(dc));
+  out.inter_datacenter.add(static_cast<double>(inter));
+  out.all.add(static_cast<double>(all));
+}
+
+}  // namespace
+
+ConcurrencyCdfs concurrent_racks(std::span<const core::PacketHeader> trace,
+                                 core::Ipv4Addr outbound_from, const AddrResolver& resolver,
+                                 core::Duration window) {
+  ConcurrencyCdfs out;
+  for_each_window(trace, outbound_from, &resolver, window,
+                  [&out](const Window& win) { count_by_locality(win, nullptr, out); });
+  return out;
+}
+
+ConcurrencyCdfs concurrent_heavy_hitter_racks(std::span<const core::PacketHeader> trace,
+                                              core::Ipv4Addr outbound_from,
+                                              const AddrResolver& resolver,
+                                              core::Duration window) {
+  ConcurrencyCdfs out;
+  for_each_window(trace, outbound_from, &resolver, window, [&out](const Window& win) {
+    const auto hh = heavy_hitters_of(win.rack_bytes);
+    const std::unordered_set<std::uint64_t> hh_set{hh.begin(), hh.end()};
+    count_by_locality(win, &hh_set, out);
+  });
+  return out;
+}
+
+ConnectionConcurrency concurrent_connections(std::span<const core::PacketHeader> trace,
+                                             core::Ipv4Addr outbound_from,
+                                             core::Duration window) {
+  ConnectionConcurrency out;
+  for_each_window(trace, outbound_from, nullptr, window, [&out](const Window& win) {
+    out.tuples.add(static_cast<double>(win.tuples.size()));
+    out.hosts.add(static_cast<double>(win.hosts.size()));
+  });
+  return out;
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,112 @@
+#include "fbdcsim/analysis/flow_table.h"
+
+#include <algorithm>
+
+namespace fbdcsim::analysis {
+
+const char* to_string(AggLevel level) {
+  switch (level) {
+    case AggLevel::kFlow: return "flow";
+    case AggLevel::kHost: return "host";
+    case AggLevel::kRack: return "rack";
+  }
+  return "?";
+}
+
+namespace {
+
+void accumulate(std::unordered_map<core::FiveTuple, Flow>& table,
+                const core::PacketHeader& pkt, const core::FiveTuple& key) {
+  auto [it, inserted] = table.try_emplace(key);
+  Flow& f = it->second;
+  if (inserted) {
+    f.tuple = key;
+    f.first_packet = pkt.timestamp;
+    f.last_packet = pkt.timestamp;
+  }
+  f.first_packet = std::min(f.first_packet, pkt.timestamp);
+  f.last_packet = std::max(f.last_packet, pkt.timestamp);
+  f.payload_bytes += pkt.payload_bytes;
+  f.frame_bytes += pkt.frame_bytes;
+  ++f.packets;
+  f.saw_syn = f.saw_syn || pkt.flags.syn;
+  f.saw_fin = f.saw_fin || pkt.flags.fin;
+}
+
+std::vector<Flow> to_sorted_vector(std::unordered_map<core::FiveTuple, Flow>&& table) {
+  std::vector<Flow> out;
+  out.reserve(table.size());
+  for (auto& [key, flow] : table) out.push_back(flow);
+  std::sort(out.begin(), out.end(), [](const Flow& a, const Flow& b) {
+    if (a.first_packet != b.first_packet) return a.first_packet < b.first_packet;
+    return a.tuple < b.tuple;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<Flow> FlowTable::outbound_flows(std::span<const core::PacketHeader> trace,
+                                            core::Ipv4Addr outbound_from) {
+  std::unordered_map<core::FiveTuple, Flow> table;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    accumulate(table, pkt, pkt.tuple);
+  }
+  return to_sorted_vector(std::move(table));
+}
+
+std::vector<Flow> FlowTable::all_flows(std::span<const core::PacketHeader> trace) {
+  std::unordered_map<core::FiveTuple, Flow> table;
+  for (const core::PacketHeader& pkt : trace) {
+    // Canonical orientation: smaller (ip, port) endpoint first, so both
+    // directions of a connection collapse into one flow record.
+    core::FiveTuple key = pkt.tuple;
+    const auto src = std::make_pair(key.src_ip.value(), key.src_port);
+    const auto dst = std::make_pair(key.dst_ip.value(), key.dst_port);
+    if (dst < src) key = key.reversed();
+    accumulate(table, pkt, key);
+  }
+  return to_sorted_vector(std::move(table));
+}
+
+std::vector<AggregatedFlow> aggregate(std::span<const Flow> flows, AggLevel level,
+                                      const AddrResolver& resolver) {
+  std::unordered_map<std::uint64_t, AggregatedFlow> table;
+  for (const Flow& f : flows) {
+    std::uint64_t key = 0;
+    switch (level) {
+      case AggLevel::kFlow:
+        key = std::hash<core::FiveTuple>{}(f.tuple);
+        break;
+      case AggLevel::kHost:
+        key = f.tuple.dst_ip.value();
+        break;
+      case AggLevel::kRack: {
+        const auto rack = resolver.rack_of(f.tuple.dst_ip);
+        if (!rack) continue;
+        key = rack->value();
+        break;
+      }
+    }
+    auto [it, inserted] = table.try_emplace(key);
+    AggregatedFlow& a = it->second;
+    if (inserted) {
+      a.key = key;
+      a.first_packet = f.first_packet;
+      a.last_packet = f.last_packet;
+    }
+    a.first_packet = std::min(a.first_packet, f.first_packet);
+    a.last_packet = std::max(a.last_packet, f.last_packet);
+    a.payload_bytes += f.payload_bytes;
+    a.packets += f.packets;
+  }
+  std::vector<AggregatedFlow> out;
+  out.reserve(table.size());
+  for (auto& [key, a] : table) out.push_back(a);
+  std::sort(out.begin(), out.end(),
+            [](const AggregatedFlow& a, const AggregatedFlow& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,128 @@
+#include "fbdcsim/analysis/heavy_hitters.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fbdcsim::analysis {
+
+BinnedTraffic bin_outbound(std::span<const core::PacketHeader> trace, core::Ipv4Addr from,
+                           const AddrResolver& resolver, AggLevel level,
+                           core::Duration bin_width, core::TimePoint origin,
+                           core::Duration span) {
+  const auto num_bins = static_cast<std::size_t>(span / bin_width);
+  BinnedTraffic binned{bin_width, num_bins};
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != from) continue;
+    std::uint64_t key = 0;
+    switch (level) {
+      case AggLevel::kFlow:
+        key = std::hash<core::FiveTuple>{}(pkt.tuple);
+        break;
+      case AggLevel::kHost:
+        key = pkt.tuple.dst_ip.value();
+        break;
+      case AggLevel::kRack: {
+        const auto rack = resolver.rack_of(pkt.tuple.dst_ip);
+        if (!rack) continue;
+        key = rack->value();
+        break;
+      }
+    }
+    const std::int64_t bin = (pkt.timestamp - origin) / bin_width;
+    binned.add(bin, key, static_cast<double>(pkt.frame_bytes));
+  }
+  return binned;
+}
+
+std::vector<std::uint64_t> heavy_hitters_of(
+    const std::unordered_map<std::uint64_t, double>& bin, double coverage) {
+  std::vector<std::pair<std::uint64_t, double>> entries{bin.begin(), bin.end()};
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  double total = 0.0;
+  for (const auto& [key, bytes] : entries) total += bytes;
+  std::vector<std::uint64_t> out;
+  double acc = 0.0;
+  for (const auto& [key, bytes] : entries) {
+    if (acc >= coverage * total) break;
+    out.push_back(key);
+    acc += bytes;
+  }
+  return out;
+}
+
+std::vector<double> hh_persistence(const BinnedTraffic& binned, double coverage) {
+  std::vector<double> out;
+  std::vector<std::uint64_t> prev;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < binned.num_bins(); ++i) {
+    const auto& bin = binned.bin(i);
+    if (bin.empty()) {
+      // An empty interval breaks the chain (nothing to persist into).
+      have_prev = false;
+      continue;
+    }
+    std::vector<std::uint64_t> cur = heavy_hitters_of(bin, coverage);
+    if (have_prev && !prev.empty()) {
+      const std::unordered_set<std::uint64_t> cur_set{cur.begin(), cur.end()};
+      std::size_t kept = 0;
+      for (const std::uint64_t k : prev) {
+        if (cur_set.contains(k)) ++kept;
+      }
+      out.push_back(static_cast<double>(kept) / static_cast<double>(prev.size()) * 100.0);
+    }
+    prev = std::move(cur);
+    have_prev = true;
+  }
+  return out;
+}
+
+std::vector<double> hh_second_intersection(const BinnedTraffic& sub,
+                                           const BinnedTraffic& per_second,
+                                           double coverage) {
+  std::vector<double> out;
+  const std::int64_t ratio = core::Duration::seconds(1) / sub.bin_width();
+  if (ratio <= 0) return out;
+
+  for (std::size_t sec = 0; sec < per_second.num_bins(); ++sec) {
+    const auto& sec_bin = per_second.bin(sec);
+    if (sec_bin.empty()) continue;
+    const auto sec_hh = heavy_hitters_of(sec_bin, coverage);
+    const std::unordered_set<std::uint64_t> sec_set{sec_hh.begin(), sec_hh.end()};
+
+    for (std::int64_t s = 0; s < ratio; ++s) {
+      const std::size_t idx = sec * static_cast<std::size_t>(ratio) + static_cast<std::size_t>(s);
+      if (idx >= sub.num_bins()) break;
+      const auto& sub_bin = sub.bin(idx);
+      if (sub_bin.empty()) continue;
+      const auto sub_hh = heavy_hitters_of(sub_bin, coverage);
+      if (sub_hh.empty()) continue;
+      std::size_t common = 0;
+      for (const std::uint64_t k : sub_hh) {
+        if (sec_set.contains(k)) ++common;
+      }
+      out.push_back(static_cast<double>(common) / static_cast<double>(sub_hh.size()) * 100.0);
+    }
+  }
+  return out;
+}
+
+HeavyHitterStats hh_stats(const BinnedTraffic& binned, double coverage) {
+  HeavyHitterStats stats;
+  const double bin_sec = binned.bin_width().to_seconds();
+  for (std::size_t i = 0; i < binned.num_bins(); ++i) {
+    const auto& bin = binned.bin(i);
+    if (bin.empty()) continue;
+    const auto hh = heavy_hitters_of(bin, coverage);
+    stats.count_per_bin.add(static_cast<double>(hh.size()));
+    for (const std::uint64_t k : hh) {
+      const double bytes = bin.at(k);
+      stats.size_mbps.add(bytes * 8.0 / bin_sec / 1e6);
+    }
+  }
+  return stats;
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,88 @@
+#include "fbdcsim/analysis/locality.h"
+
+#include <algorithm>
+
+namespace fbdcsim::analysis {
+
+std::vector<LocalityBin> locality_timeseries(std::span<const core::PacketHeader> trace,
+                                             core::Ipv4Addr outbound_from,
+                                             const AddrResolver& resolver,
+                                             core::Duration bin) {
+  std::vector<LocalityBin> out;
+  if (trace.empty()) return out;
+  const std::int64_t first_bin = trace.front().timestamp.bin_index(bin);
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const auto loc = resolver.locality(pkt.tuple.src_ip, pkt.tuple.dst_ip);
+    if (!loc) continue;
+    const std::int64_t b = pkt.timestamp.bin_index(bin) - first_bin;
+    if (b < 0) continue;
+    if (static_cast<std::size_t>(b) >= out.size()) {
+      const std::size_t old = out.size();
+      out.resize(static_cast<std::size_t>(b) + 1);
+      for (std::size_t i = old; i < out.size(); ++i) out[i].bin = static_cast<std::int64_t>(i);
+    }
+    out[static_cast<std::size_t>(b)].bytes[static_cast<int>(*loc)] +=
+        static_cast<double>(pkt.frame_bytes);
+  }
+  return out;
+}
+
+std::array<double, core::kNumLocalities> locality_shares(
+    std::span<const core::PacketHeader> trace, core::Ipv4Addr outbound_from,
+    const AddrResolver& resolver) {
+  std::array<double, core::kNumLocalities> bytes{};
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const auto loc = resolver.locality(pkt.tuple.src_ip, pkt.tuple.dst_ip);
+    if (!loc) continue;
+    bytes[static_cast<int>(*loc)] += static_cast<double>(pkt.frame_bytes);
+  }
+  double total = 0.0;
+  for (const double b : bytes) total += b;
+  if (total > 0.0) {
+    for (double& b : bytes) b = b / total * 100.0;
+  }
+  return bytes;
+}
+
+std::vector<RoleShare> outbound_role_shares(std::span<const core::PacketHeader> trace,
+                                            core::Ipv4Addr outbound_from,
+                                            const AddrResolver& resolver) {
+  constexpr core::HostRole kRoles[] = {
+      core::HostRole::kWeb,      core::HostRole::kCacheFollower, core::HostRole::kCacheLeader,
+      core::HostRole::kHadoop,   core::HostRole::kMultifeed,     core::HostRole::kSlb,
+      core::HostRole::kDatabase, core::HostRole::kService};
+  std::array<double, 8> bytes{};
+  double total = 0.0;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const auto role = resolver.role_of(pkt.tuple.dst_ip);
+    if (!role) continue;
+    bytes[static_cast<std::size_t>(*role)] += static_cast<double>(pkt.payload_bytes);
+    total += static_cast<double>(pkt.payload_bytes);
+  }
+  std::vector<RoleShare> out;
+  for (const core::HostRole role : kRoles) {
+    const double b = bytes[static_cast<std::size_t>(role)];
+    out.push_back(RoleShare{role, total > 0.0 ? b / total * 100.0 : 0.0});
+  }
+  return out;
+}
+
+FlowsByLocality flows_by_locality(std::span<const Flow> flows, const AddrResolver& resolver) {
+  FlowsByLocality out;
+  for (const Flow& f : flows) {
+    const auto loc = resolver.locality(f.tuple.src_ip, f.tuple.dst_ip);
+    if (!loc) continue;
+    const auto size = static_cast<double>(f.payload_bytes);
+    const double dur_ms = f.duration().to_millis();
+    out.size_bytes[static_cast<int>(*loc)].push_back(size);
+    out.duration_ms[static_cast<int>(*loc)].push_back(dur_ms);
+    out.all_size_bytes.push_back(size);
+    out.all_duration_ms.push_back(dur_ms);
+  }
+  return out;
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,147 @@
+#include "fbdcsim/analysis/packet_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fbdcsim::analysis {
+
+core::Cdf packet_size_cdf(std::span<const core::PacketHeader> trace) {
+  core::Cdf cdf;
+  for (const core::PacketHeader& pkt : trace) {
+    cdf.add(static_cast<double>(pkt.frame_bytes));
+  }
+  return cdf;
+}
+
+core::Cdf syn_interarrival_cdf(std::span<const core::PacketHeader> trace,
+                               core::Ipv4Addr outbound_from) {
+  // Trace is time-ordered (the capture path sorts it); collect initial
+  // SYNs only.
+  core::Cdf cdf;
+  bool have_prev = false;
+  core::TimePoint prev;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    if (!pkt.flags.syn || pkt.flags.ack) continue;
+    if (have_prev) cdf.add((pkt.timestamp - prev).to_micros());
+    prev = pkt.timestamp;
+    have_prev = true;
+  }
+  return cdf;
+}
+
+std::vector<std::int64_t> arrival_counts(std::span<const core::PacketHeader> trace,
+                                         core::Duration bin) {
+  std::vector<std::int64_t> out;
+  if (trace.empty()) return out;
+  const std::int64_t first = trace.front().timestamp.bin_index(bin);
+  for (const core::PacketHeader& pkt : trace) {
+    const std::int64_t b = pkt.timestamp.bin_index(bin) - first;
+    if (b < 0) continue;
+    if (static_cast<std::size_t>(b) >= out.size()) out.resize(static_cast<std::size_t>(b) + 1, 0);
+    ++out[static_cast<std::size_t>(b)];
+  }
+  return out;
+}
+
+double idle_bin_fraction(std::span<const core::PacketHeader> trace, core::Duration bin) {
+  const auto counts = arrival_counts(trace, bin);
+  if (counts.empty()) return 1.0;
+  const auto idle = static_cast<double>(
+      std::count(counts.begin(), counts.end(), std::int64_t{0}));
+  return idle / static_cast<double>(counts.size());
+}
+
+core::Cdf per_destination_idle_fractions(std::span<const core::PacketHeader> trace,
+                                          core::Ipv4Addr outbound_from, core::Duration bin,
+                                          std::int64_t min_packets) {
+  struct Dest {
+    std::int64_t first_bin{0};
+    std::int64_t last_bin{0};
+    std::unordered_set<std::int64_t> active;
+    std::int64_t packets{0};
+  };
+  std::unordered_map<std::uint32_t, Dest> dests;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const std::int64_t b = pkt.timestamp.bin_index(bin);
+    auto [it, inserted] = dests.try_emplace(pkt.tuple.dst_ip.value());
+    Dest& d = it->second;
+    if (inserted) {
+      d.first_bin = b;
+      d.last_bin = b;
+    }
+    d.first_bin = std::min(d.first_bin, b);
+    d.last_bin = std::max(d.last_bin, b);
+    d.active.insert(b);
+    ++d.packets;
+  }
+  core::Cdf out;
+  for (const auto& [addr, d] : dests) {
+    if (d.packets < min_packets) continue;
+    const std::int64_t span = d.last_bin - d.first_bin + 1;
+    if (span < 2) continue;
+    out.add(1.0 - static_cast<double>(d.active.size()) / static_cast<double>(span));
+  }
+  return out;
+}
+
+PerRackRates per_rack_second_rates(std::span<const core::PacketHeader> trace,
+                                   core::Ipv4Addr outbound_from, const AddrResolver& resolver,
+                                   core::TimePoint origin, core::Duration span) {
+  const auto seconds = static_cast<std::size_t>(span / core::Duration::seconds(1));
+  std::unordered_map<std::uint64_t, std::vector<double>> per_rack;
+  for (const core::PacketHeader& pkt : trace) {
+    if (pkt.tuple.src_ip != outbound_from) continue;
+    const auto rack = resolver.rack_of(pkt.tuple.dst_ip);
+    if (!rack) continue;
+    const std::int64_t sec = (pkt.timestamp - origin) / core::Duration::seconds(1);
+    if (sec < 0 || static_cast<std::size_t>(sec) >= seconds) continue;
+    auto [it, inserted] = per_rack.try_emplace(rack->value());
+    if (inserted) it->second.assign(seconds, 0.0);
+    it->second[static_cast<std::size_t>(sec)] += static_cast<double>(pkt.frame_bytes);
+  }
+
+  PerRackRates out;
+  out.seconds = seconds;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(per_rack.size());
+  for (const auto& [key, rates] : per_rack) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    out.rack_keys.push_back(key);
+    out.bytes_per_sec.push_back(std::move(per_rack[key]));
+  }
+  return out;
+}
+
+RateStability rate_stability(const PerRackRates& rates) {
+  RateStability out;
+  std::int64_t total = 0;
+  std::int64_t within2x = 0;
+  std::int64_t significant = 0;
+  for (const auto& series : rates.bytes_per_sec) {
+    std::vector<double> sorted = series;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    std::vector<double> normalized;
+    normalized.reserve(series.size());
+    for (const double v : series) {
+      if (median <= 0.0) continue;
+      const double ratio = v / median;
+      normalized.push_back(ratio);
+      ++total;
+      if (ratio >= 0.5 && ratio <= 2.0) ++within2x;
+      if (ratio < 0.8 || ratio > 1.2) ++significant;
+    }
+    if (!normalized.empty()) out.normalized.push_back(std::move(normalized));
+  }
+  if (total > 0) {
+    out.within_2x_of_median = static_cast<double>(within2x) / static_cast<double>(total);
+    out.significant_change = static_cast<double>(significant) / static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,61 @@
+#include "fbdcsim/analysis/te_eval.h"
+
+#include <unordered_set>
+
+namespace fbdcsim::analysis {
+
+TeEvaluation evaluate_reactive_te(const BinnedTraffic& binned, double coverage) {
+  TeEvaluation eval;
+  std::vector<std::uint64_t> previous_hh;
+  bool have_previous = false;
+  double predicted_sum = 0.0;
+  double oracle_sum = 0.0;
+  double treated_sum = 0.0;
+
+  for (std::size_t i = 0; i < binned.num_bins(); ++i) {
+    const auto& bin = binned.bin(i);
+    if (bin.empty()) {
+      have_previous = false;
+      continue;
+    }
+    const auto own_hh = heavy_hitters_of(bin, coverage);
+    double total = 0.0;
+    for (const auto& [key, bytes] : bin) total += bytes;
+
+    if (have_previous) {
+      double predicted = 0.0;
+      for (const std::uint64_t key : previous_hh) {
+        const auto it = bin.find(key);
+        if (it != bin.end()) predicted += it->second;
+      }
+      double oracle = 0.0;
+      for (const std::uint64_t key : own_hh) oracle += bin.at(key);
+
+      predicted_sum += predicted / total;
+      oracle_sum += oracle / total;
+      treated_sum += static_cast<double>(previous_hh.size());
+      ++eval.intervals;
+    }
+    previous_hh = own_hh;
+    have_previous = true;
+  }
+
+  if (eval.intervals > 0) {
+    eval.predicted_byte_coverage = predicted_sum / static_cast<double>(eval.intervals);
+    eval.oracle_byte_coverage = oracle_sum / static_cast<double>(eval.intervals);
+    eval.mean_treated_keys = treated_sum / static_cast<double>(eval.intervals);
+  }
+  return eval;
+}
+
+TeEvaluation evaluate_reactive_te(std::span<const core::PacketHeader> trace,
+                                  core::Ipv4Addr outbound_from, const AddrResolver& resolver,
+                                  AggLevel level, core::Duration interval,
+                                  core::TimePoint origin, core::Duration span,
+                                  double coverage) {
+  const BinnedTraffic binned =
+      bin_outbound(trace, outbound_from, resolver, level, interval, origin, span);
+  return evaluate_reactive_te(binned, coverage);
+}
+
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,109 @@
+// to_string implementations for the core vocabulary types.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "fbdcsim/core/addr.h"
+#include "fbdcsim/core/flow.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/time.h"
+#include "fbdcsim/core/units.h"
+
+namespace fbdcsim::core {
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3g%s", value, unit);
+  return std::string{buf.data()};
+}
+
+}  // namespace
+
+std::string Duration::to_string() const {
+  const double ns = static_cast<double>(ns_);
+  const double abs = std::abs(ns);
+  if (abs >= 1e9) return format_scaled(ns / 1e9, "s");
+  if (abs >= 1e6) return format_scaled(ns / 1e6, "ms");
+  if (abs >= 1e3) return format_scaled(ns / 1e3, "us");
+  return format_scaled(ns, "ns");
+}
+
+std::string TimePoint::to_string() const {
+  return "t=" + since_epoch().to_string();
+}
+
+std::string DataSize::to_string() const {
+  const double b = static_cast<double>(bytes_);
+  const double abs = std::abs(b);
+  if (abs >= 1e9) return format_scaled(b / 1e9, "GB");
+  if (abs >= 1e6) return format_scaled(b / 1e6, "MB");
+  if (abs >= 1e3) return format_scaled(b / 1e3, "KB");
+  return format_scaled(b, "B");
+}
+
+std::string DataRate::to_string() const {
+  const double b = static_cast<double>(bps_);
+  const double abs = std::abs(b);
+  if (abs >= 1e9) return format_scaled(b / 1e9, "Gbps");
+  if (abs >= 1e6) return format_scaled(b / 1e6, "Mbps");
+  if (abs >= 1e3) return format_scaled(b / 1e3, "Kbps");
+  return format_scaled(b, "bps");
+}
+
+Ipv4Addr Ipv4Addr::parse(const std::string& dotted) {
+  Ipv4Addr out;
+  if (!try_parse(dotted, out)) return Ipv4Addr{};
+  return out;
+}
+
+bool Ipv4Addr::try_parse(const std::string& dotted, Ipv4Addr& out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = '\0';
+  const int matched = std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) return false;
+  out = Ipv4Addr{static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                 static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d)};
+  return true;
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return std::string{buf.data()};
+}
+
+std::string FiveTuple::to_string() const {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%s:%u->%s:%u/%s", src_ip.to_string().c_str(), src_port,
+                dst_ip.to_string().c_str(), dst_port, protocol == Protocol::kTcp ? "tcp" : "udp");
+  return std::string{buf.data()};
+}
+
+const char* to_string(HostRole role) {
+  switch (role) {
+    case HostRole::kWeb: return "Web";
+    case HostRole::kCacheFollower: return "Cache-f";
+    case HostRole::kCacheLeader: return "Cache-l";
+    case HostRole::kHadoop: return "Hadoop";
+    case HostRole::kMultifeed: return "Multifeed";
+    case HostRole::kSlb: return "SLB";
+    case HostRole::kDatabase: return "DB";
+    case HostRole::kService: return "Service";
+  }
+  return "?";
+}
+
+const char* to_string(Locality locality) {
+  switch (locality) {
+    case Locality::kIntraRack: return "Intra-Rack";
+    case Locality::kIntraCluster: return "Intra-Cluster";
+    case Locality::kIntraDatacenter: return "Intra-Datacenter";
+    case Locality::kInterDatacenter: return "Inter-Datacenter";
+  }
+  return "?";
+}
+
+}  // namespace fbdcsim::core

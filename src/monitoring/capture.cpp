@@ -1,0 +1,34 @@
+#include "fbdcsim/monitoring/capture.h"
+
+#include <algorithm>
+
+namespace fbdcsim::monitoring {
+
+CaptureBuffer::CaptureBuffer(std::int64_t memory_limit_bytes)
+    : capacity_records_{std::max<std::int64_t>(1, memory_limit_bytes / kRecordBytes)} {}
+
+bool CaptureBuffer::record(const core::PacketHeader& header) {
+  if (static_cast<std::int64_t>(packets_.size()) >= capacity_records_) {
+    ++dropped_;
+    return false;
+  }
+  packets_.push_back(header);
+  return true;
+}
+
+std::vector<core::PacketHeader> CaptureBuffer::spool() {
+  std::vector<core::PacketHeader> out;
+  out.swap(packets_);
+  return out;
+}
+
+void PortMirror::observe(const core::PacketHeader& header) {
+  for (const core::Ipv4Addr addr : monitored_) {
+    if (header.tuple.src_ip == addr || header.tuple.dst_ip == addr) {
+      buffer_->record(header);
+      return;
+    }
+  }
+}
+
+}  // namespace fbdcsim::monitoring

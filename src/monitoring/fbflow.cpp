@@ -1,0 +1,225 @@
+#include "fbdcsim/monitoring/fbflow.h"
+
+#include <algorithm>
+
+#include "fbdcsim/core/units.h"
+
+namespace fbdcsim::monitoring {
+
+PacketSampler::PacketSampler(std::int64_t rate, core::RngStream& rng) : rate_{rate} {
+  if (rate_ < 1) rate_ = 1;
+  // Random initial phase so synchronized traffic patterns cannot alias
+  // against the sampling period.
+  countdown_ = rng.uniform_int(1, rate_);
+}
+
+bool PacketSampler::sample() {
+  if (--countdown_ > 0) return false;
+  countdown_ = rate_;
+  return true;
+}
+
+void AnalyticSampler::sample_flow(const core::FlowRecord& flow, const Emit& emit) {
+  if (flow.packets <= 0) return;
+  // Each of the flow's packets is selected independently with probability
+  // 1/rate; the selected count is Binomial(n, 1/rate), approximated by
+  // Poisson thinning (exact in distribution as rate grows; at 1:30,000 the
+  // difference is negligible and the expectation is identical).
+  const double expected = static_cast<double>(flow.packets) / static_cast<double>(rate_);
+  const std::int64_t selected = rng_.poisson(expected);
+  if (selected == 0) return;
+
+  const std::int64_t mean_frame =
+      core::wire::tcp_frame_bytes(flow.bytes.count_bytes() / std::max<std::int64_t>(1, flow.packets));
+  for (std::int64_t i = 0; i < selected; ++i) {
+    SampledPacket s;
+    s.captured_at =
+        flow.start + core::Duration::nanos(static_cast<std::int64_t>(
+                         rng_.uniform() * static_cast<double>(flow.duration.count_nanos())));
+    s.tuple = flow.tuple;
+    s.frame_bytes = mean_frame;
+    s.reporter = flow.src_host;
+    emit(s);
+  }
+}
+
+bool Tagger::tag(const SampledPacket& sample, TaggedSample& out) const {
+  const core::HostId src = fleet_->host_by_addr(sample.tuple.src_ip);
+  const core::HostId dst = fleet_->host_by_addr(sample.tuple.dst_ip);
+  if (!src.is_valid() || !dst.is_valid()) return false;
+
+  const topology::Host& s = fleet_->host(src);
+  const topology::Host& d = fleet_->host(dst);
+  out.sample = sample;
+  out.src_host = src;
+  out.dst_host = dst;
+  out.src_role = s.role;
+  out.dst_role = d.role;
+  out.src_rack = s.rack;
+  out.dst_rack = d.rack;
+  out.src_cluster = s.cluster;
+  out.dst_cluster = d.cluster;
+  out.src_dc = s.datacenter;
+  out.dst_dc = d.datacenter;
+  out.locality = fleet_->locality(src, dst);
+  out.minute = sample.captured_at.count_nanos() / 60'000'000'000LL;
+  return true;
+}
+
+double ScubaTable::LocalityBytes::total() const {
+  double t = 0.0;
+  for (const double b : bytes) t += b;
+  return t;
+}
+
+std::array<double, core::kNumLocalities> ScubaTable::LocalityBytes::percentages() const {
+  std::array<double, core::kNumLocalities> out{};
+  const double t = total();
+  if (t <= 0.0) return out;
+  for (int i = 0; i < core::kNumLocalities; ++i) out[static_cast<std::size_t>(i)] = bytes[i] / t * 100.0;
+  return out;
+}
+
+ScubaTable::LocalityBytes ScubaTable::locality_bytes(std::int64_t sampling_rate) const {
+  LocalityBytes out;
+  for (const TaggedSample& r : rows_) {
+    out.bytes[static_cast<int>(r.locality)] +=
+        static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+  }
+  return out;
+}
+
+ScubaTable::LocalityBytes ScubaTable::locality_bytes_for_cluster_type(
+    const topology::Fleet& fleet, topology::ClusterType type,
+    std::int64_t sampling_rate) const {
+  LocalityBytes out;
+  for (const TaggedSample& r : rows_) {
+    if (fleet.cluster(r.src_cluster).type != type) continue;
+    out.bytes[static_cast<int>(r.locality)] +=
+        static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+  }
+  return out;
+}
+
+std::vector<std::pair<topology::ClusterType, double>> ScubaTable::bytes_by_cluster_type(
+    const topology::Fleet& fleet, std::int64_t sampling_rate) const {
+  constexpr topology::ClusterType kTypes[] = {
+      topology::ClusterType::kFrontend, topology::ClusterType::kCache,
+      topology::ClusterType::kHadoop, topology::ClusterType::kDatabase,
+      topology::ClusterType::kService};
+  std::vector<std::pair<topology::ClusterType, double>> out;
+  for (const auto type : kTypes) out.emplace_back(type, 0.0);
+  for (const TaggedSample& r : rows_) {
+    const auto type = fleet.cluster(r.src_cluster).type;
+    for (auto& [t, bytes] : out) {
+      if (t == type) {
+        bytes += static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ScubaTable::rack_matrix(const topology::Fleet& fleet,
+                                                         core::ClusterId cluster,
+                                                         std::int64_t sampling_rate) const {
+  const auto& racks = fleet.cluster(cluster).racks;
+  std::vector<std::vector<double>> m(racks.size(), std::vector<double>(racks.size(), 0.0));
+  // Map global rack id -> position within the cluster.
+  std::vector<std::int64_t> pos(fleet.num_racks(), -1);
+  for (std::size_t i = 0; i < racks.size(); ++i) pos[racks[i].value()] = static_cast<std::int64_t>(i);
+
+  for (const TaggedSample& r : rows_) {
+    if (r.src_cluster != cluster || r.dst_cluster != cluster) continue;
+    const std::int64_t si = pos[r.src_rack.value()];
+    const std::int64_t di = pos[r.dst_rack.value()];
+    if (si < 0 || di < 0) continue;
+    m[static_cast<std::size_t>(si)][static_cast<std::size_t>(di)] +=
+        static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> ScubaTable::cluster_matrix(const topology::Fleet& fleet,
+                                                            core::DatacenterId dc,
+                                                            std::int64_t sampling_rate) const {
+  const auto& clusters = fleet.datacenter(dc).clusters;
+  std::vector<std::vector<double>> m(clusters.size(), std::vector<double>(clusters.size(), 0.0));
+  std::vector<std::int64_t> pos(fleet.clusters().size(), -1);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    pos[clusters[i].value()] = static_cast<std::int64_t>(i);
+  }
+
+  for (const TaggedSample& r : rows_) {
+    if (r.src_dc != dc || r.dst_dc != dc) continue;
+    const std::int64_t si = pos[r.src_cluster.value()];
+    const std::int64_t di = pos[r.dst_cluster.value()];
+    if (si < 0 || di < 0) continue;
+    m[static_cast<std::size_t>(si)][static_cast<std::size_t>(di)] +=
+        static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> ScubaTable::role_matrix(std::int64_t sampling_rate) const {
+  std::vector<std::vector<double>> m(8, std::vector<double>(8, 0.0));
+  for (const TaggedSample& r : rows_) {
+    m[static_cast<std::size_t>(r.src_role)][static_cast<std::size_t>(r.dst_role)] +=
+        static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+  }
+  return m;
+}
+
+std::vector<std::pair<core::HostRole, double>> ScubaTable::outbound_by_dest_role(
+    core::HostId src, std::int64_t sampling_rate) const {
+  constexpr core::HostRole kRoles[] = {
+      core::HostRole::kWeb,      core::HostRole::kCacheFollower, core::HostRole::kCacheLeader,
+      core::HostRole::kHadoop,   core::HostRole::kMultifeed,     core::HostRole::kSlb,
+      core::HostRole::kDatabase, core::HostRole::kService};
+  std::vector<std::pair<core::HostRole, double>> out;
+  for (const auto role : kRoles) out.emplace_back(role, 0.0);
+  for (const TaggedSample& r : rows_) {
+    if (r.src_host != src) continue;
+    for (auto& [role, bytes] : out) {
+      if (role == r.dst_role) {
+        bytes += static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampling_rate,
+                               core::RngStream rng)
+    : sampling_rate_{sampling_rate},
+      analytic_{sampling_rate, rng.fork("analytic")},
+      packet_rng_{rng.fork("packet")},
+      packet_sampler_{sampling_rate, packet_rng_},
+      tagger_{fleet} {
+  scribe_.subscribe([this](const SampledPacket& s) {
+    TaggedSample tagged;
+    if (tagger_.tag(s, tagged)) {
+      scuba_.add(tagged);
+    } else {
+      ++tag_failures_;
+    }
+  });
+}
+
+void FbflowPipeline::offer_flow(const core::FlowRecord& flow) {
+  analytic_.sample_flow(flow, [this](const SampledPacket& s) { scribe_.publish(s); });
+}
+
+void FbflowPipeline::offer_packet(core::HostId reporter, const core::PacketHeader& header) {
+  if (!packet_sampler_.sample()) return;
+  SampledPacket s;
+  s.captured_at = header.timestamp;
+  s.tuple = header.tuple;
+  s.frame_bytes = header.frame_bytes;
+  s.reporter = reporter;
+  scribe_.publish(s);
+}
+
+}  // namespace fbdcsim::monitoring

@@ -1,0 +1,51 @@
+#include "fbdcsim/monitoring/rollup.h"
+
+#include <cmath>
+
+namespace fbdcsim::monitoring {
+
+void HiveRollup::add(const TaggedSample& sample) {
+  const std::int64_t day = sample.minute / (24 * 60);
+  DayAgg& agg = days_[day];
+  const double bytes =
+      static_cast<double>(sample.sample.frame_bytes) * static_cast<double>(sampling_rate_);
+  agg.cluster_bytes[{sample.src_cluster.value(), sample.dst_cluster.value()}] += bytes;
+  agg.locality_bytes[static_cast<int>(sample.locality)] += bytes;
+}
+
+std::vector<double> HiveRollup::cluster_matrix(std::int64_t day) const {
+  std::vector<double> m(num_clusters_ * num_clusters_, 0.0);
+  const auto it = days_.find(day);
+  if (it == days_.end()) return m;
+  for (const auto& [pair, bytes] : it->second.cluster_bytes) {
+    const auto [src, dst] = pair;
+    if (src < num_clusters_ && dst < num_clusters_) {
+      m[src * num_clusters_ + dst] = bytes;
+    }
+  }
+  return m;
+}
+
+std::array<double, core::kNumLocalities> HiveRollup::locality_vector(std::int64_t day) const {
+  const auto it = days_.find(day);
+  if (it == days_.end()) return {};
+  return it->second.locality_bytes;
+}
+
+double HiveRollup::day_similarity(std::int64_t day_a, std::int64_t day_b) const {
+  return cosine_similarity(cluster_matrix(day_a), cluster_matrix(day_b));
+}
+
+double cosine_similarity(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace fbdcsim::monitoring

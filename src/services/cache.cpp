@@ -1,0 +1,364 @@
+#include "fbdcsim/services/cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+namespace fbdcsim::services {
+
+namespace {
+using core::DataSize;
+using core::Duration;
+using core::HostRole;
+using core::TimePoint;
+
+DataSize sampled_size(core::LogNormal& dist, core::RngStream& rng, std::int64_t floor_bytes) {
+  return DataSize::bytes(
+      std::max(floor_bytes, static_cast<std::int64_t>(dist.sample(rng))));
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cache follower
+// ---------------------------------------------------------------------------
+
+CacheFollowerModel::CacheFollowerModel(const topology::Fleet& fleet, core::HostId self,
+                                       const ServiceMix& mix, core::RngStream rng)
+    : fleet_{&fleet},
+      self_{self},
+      mix_{&mix},
+      rng_{rng},
+      peers_{fleet, self},
+      conns_{fleet, self},
+      object_size_{static_cast<double>(mix.cache_follower.object_median.count_bytes()),
+                   mix.cache_follower.object_sigma} {
+  // Shard map: this follower's objects belong to a handful of shards, each
+  // owned by a specific leader; fills concentrate there (and that is why
+  // Figure 9's per-host flow sizes stay tight — only the Web-facing
+  // response traffic is spread wide).
+  core::RngStream setup = rng_.fork("peer-sets");
+  leader_peers_ = peers_.pick_set(HostRole::kCacheLeader,
+                                  Scope::kSameDatacenterOtherCluster, 12, setup);
+  const auto remote_leaders =
+      peers_.pick_set(HostRole::kCacheLeader, Scope::kOtherDatacenters, 4, setup);
+  leader_peers_.insert(leader_peers_.end(), remote_leaders.begin(), remote_leaders.end());
+  misc_peers_ = peers_.pick_set(HostRole::kService, Scope::kSameDatacenter, 5, setup);
+  const auto remote_misc =
+      peers_.pick_set(HostRole::kService, Scope::kOtherDatacenters, 3, setup);
+  misc_peers_.insert(misc_peers_.end(), remote_misc.begin(), remote_misc.end());
+}
+
+void CacheFollowerModel::start(sim::Simulator& sim, TrafficSink& sink) {
+  sim_ = &sim;
+  sink_ = &sink;
+  wire_ = std::make_unique<Wire>(sim, sink, self_);
+  schedule_next_get();
+  schedule_next_surge();
+  schedule_next_ephemeral();
+  schedule_next_misc();
+}
+
+void CacheFollowerModel::schedule_next_get() {
+  const double rate = mix_->cache_follower.gets_served_per_sec * surge_multiplier_;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    serve_get(surge_multiplier_);
+    schedule_next_get();
+  });
+}
+
+void CacheFollowerModel::refresh_rack_weights() {
+  // Group the cluster's Web hosts by rack once.
+  if (web_hosts_by_rack_.empty()) {
+    std::unordered_map<std::uint32_t, std::size_t> rack_index;
+    for (const core::HostId h : peers_.candidates(HostRole::kWeb, Scope::kSameCluster)) {
+      const auto rack = fleet_->host(h).rack.value();
+      auto [it, inserted] = rack_index.try_emplace(rack, web_hosts_by_rack_.size());
+      if (inserted) web_hosts_by_rack_.emplace_back();
+      web_hosts_by_rack_[it->second].push_back(h);
+    }
+  }
+  // Per-second Gamma(k)/sum weights: mean 1, sd ~1/sqrt(k).
+  std::gamma_distribution<double> gamma{18.0, 1.0};
+  rack_weight_cdf_.clear();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < web_hosts_by_rack_.size(); ++i) {
+    acc += gamma(rng_.engine()) * static_cast<double>(web_hosts_by_rack_[i].size());
+    rack_weight_cdf_.push_back(acc);
+  }
+}
+
+std::optional<core::HostId> CacheFollowerModel::pick_requester() {
+  if (!mix_->load_balancing_enabled) {
+    return peers_.pick_skewed(HostRole::kWeb, Scope::kSameCluster, rng_);
+  }
+  const std::int64_t epoch = sim_->now().count_nanos() / 1'000'000'000LL;
+  if (epoch != weight_epoch_) {
+    refresh_rack_weights();
+    weight_epoch_ = epoch;
+  }
+  if (rack_weight_cdf_.empty()) return std::nullopt;
+  const double u = rng_.uniform() * rack_weight_cdf_.back();
+  const auto it = std::lower_bound(rack_weight_cdf_.begin(), rack_weight_cdf_.end(), u);
+  const auto& hosts =
+      web_hosts_by_rack_[static_cast<std::size_t>(
+          std::distance(rack_weight_cdf_.begin(), it))];
+  return hosts[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+}
+
+void CacheFollowerModel::serve_get(double /*rate_multiplier*/) {
+  const CacheFollowerParams& p = mix_->cache_follower;
+  const TimePoint now = sim_->now();
+
+  // The requesting Web server: user-request load balancing spreads demand
+  // over the whole Web tier (Figures 8b, 9, 16b), with per-second per-rack
+  // wobble from user sessions; the LB-off ablation concentrates it.
+  const auto web = pick_requester();
+  if (!web) return;
+
+  Connection& conn = conns_.pooled_inbound(*web, core::ports::kMemcache);
+  // The response piggybacks the ACK of the request (no standalone ACK).
+  const TimePoint got = wire_->receive(conn, mix_->web.cache_get_request, now,
+                                       Duration::micros(2), /*ack_outbound=*/false);
+
+  const Duration service = Duration::micros(static_cast<std::int64_t>(40 + rng_.exponential(60.0)));
+  const DataSize object = sampled_size(object_size_, rng_, 32);
+
+  if (rng_.bernoulli(p.miss_rate) && !leader_peers_.empty()) {
+    // Miss: fill from the shard's leader before answering.
+    const core::HostId leader = leader_peers_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(leader_peers_.size()) - 1))];
+    const bool remote =
+        fleet_->host(leader).datacenter != fleet_->host(self_).datacenter;
+    Connection& fill = conns_.pooled(leader, core::ports::kCacheCoherence);
+    const TimePoint asked = wire_->send(fill, p.fill_request, got + service);
+    const Duration fill_rtt = remote ? Duration::millis(35) : Duration::micros(400);
+    const TimePoint filled = wire_->receive(fill, object, asked + fill_rtt);
+    wire_->send(conn, object, filled + Duration::micros(20));
+    return;
+  }
+  wire_->send(conn, object, got + service);
+}
+
+void CacheFollowerModel::schedule_next_misc() {
+  const CacheFollowerParams& p = mix_->cache_follower;
+  // Background traffic ("Rest", 5.5% of Table 2's cache-f row): logging and
+  // service chatter to Service hosts in this and other datacenters.
+  const double fg_bytes = p.gets_served_per_sec *
+                          static_cast<double>(p.object_median.count_bytes()) * 1.8;
+  const double misc_bytes = fg_bytes * p.misc_bytes_fraction / (1.0 - p.misc_bytes_fraction);
+  const double rate = misc_bytes / static_cast<double>(p.misc_message.count_bytes());
+  if (rate <= 0.0) return;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    if (!misc_peers_.empty()) {
+      const core::HostId svc = misc_peers_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(misc_peers_.size()) - 1))];
+      Connection& conn = conns_.pooled(svc, core::ports::kSlb);
+      wire_->send(conn, mix_->cache_follower.misc_message, sim_->now());
+    }
+    schedule_next_misc();
+  });
+}
+
+void CacheFollowerModel::schedule_next_surge() {
+  // Surge inter-arrival: a handful per minute per follower; the top-50 hot
+  // list churns on the order of minutes (§5.2).
+  const double surges_per_sec = 3.0 / 60.0;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / surges_per_sec)), [this] {
+    const HotObjectParams& hp = mix_->hot_objects;
+    ++surges_started_;
+    // A hot object adds demand. With mitigation the cache tells Web
+    // servers to cache the object within a short reaction time and the
+    // surge collapses; without it the surge runs its full course, and is
+    // larger (no replication spreads the shard).
+    const double magnitude = hp.mitigation_enabled ? rng_.uniform(0.05, 0.25)
+                                                   : rng_.uniform(0.5, 3.0);
+    const Duration lifetime =
+        hp.mitigation_enabled
+            ? Duration::from_seconds(0.2 + rng_.exponential(0.8))
+            : Duration::from_seconds(rng_.exponential(hp.hot_lifetime.to_seconds()));
+    surge_multiplier_ += magnitude;
+    if (hp.mitigation_enabled) ++surges_mitigated_;
+    sim_->schedule_after(lifetime, [this, magnitude] { surge_multiplier_ -= magnitude; });
+    schedule_next_surge();
+  });
+}
+
+void CacheFollowerModel::schedule_next_ephemeral() {
+  const double rate = mix_->cache_follower.ephemeral_per_sec;
+  if (rate <= 0.0) return;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    // Short-lived administrative / one-shot connections: stats pulls,
+    // health checks, shard moves. Small exchanges on fresh connections.
+    const auto peer = peers_.pick(HostRole::kWeb, Scope::kSameCluster, rng_);
+    if (peer) {
+      const Connection conn = conns_.ephemeral(*peer, core::ports::kMemcache);
+      const TimePoint opened = wire_->open(conn, sim_->now());
+      const TimePoint sent = wire_->send(conn, DataSize::bytes(400), opened);
+      const TimePoint answered = wire_->receive(conn, DataSize::bytes(600), sent + Duration::micros(150));
+      wire_->close(conn, answered + Duration::micros(30));
+    }
+    schedule_next_ephemeral();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cache leader
+// ---------------------------------------------------------------------------
+
+CacheLeaderModel::CacheLeaderModel(const topology::Fleet& fleet, core::HostId self,
+                                   const ServiceMix& mix, core::RngStream rng)
+    : fleet_{&fleet},
+      self_{self},
+      mix_{&mix},
+      rng_{rng},
+      peers_{fleet, self},
+      conns_{fleet, self},
+      coherency_size_{static_cast<double>(mix.cache_leader.coherency_msg_median.count_bytes()),
+                      mix.cache_leader.coherency_sigma},
+      object_size_{static_cast<double>(mix.cache_follower.object_median.count_bytes()),
+                   mix.cache_follower.object_sigma} {
+  core::RngStream setup = rng_.fork("peer-sets");
+  db_peers_ = peers_.pick_set(HostRole::kDatabase, Scope::kSameDatacenter, 6, setup);
+  const auto remote_dbs =
+      peers_.pick_set(HostRole::kDatabase, Scope::kOtherDatacenters, 10, setup);
+  db_peers_.insert(db_peers_.end(), remote_dbs.begin(), remote_dbs.end());
+  mf_peers_ = peers_.pick_set(HostRole::kMultifeed, Scope::kSameDatacenter, 6, setup);
+  misc_peers_ = peers_.pick_set(HostRole::kService, Scope::kSameDatacenter, 6, setup);
+}
+
+void CacheLeaderModel::start(sim::Simulator& sim, TrafficSink& sink) {
+  sim_ = &sim;
+  sink_ = &sink;
+  wire_ = std::make_unique<Wire>(sim, sink, self_);
+  schedule_next_coherency();
+  schedule_next_db_op();
+  schedule_next_fill();
+  schedule_next_ephemeral();
+  schedule_next_misc();
+}
+
+Scope CacheLeaderModel::follower_scope() {
+  // Table 3 Cache row: ~0.2% rack, 13% cluster, 41% DC, 46% inter-DC.
+  // Leader->follower messages dominate leader traffic, so their scope mix
+  // approximates the row directly; DB and fill components shift it a little
+  // and the benches verify the emergent result.
+  const double u = rng_.uniform();
+  if (u < 0.15) return Scope::kSameCluster;            // other leaders / local shards
+  if (u < 0.50) return Scope::kSameDatacenterOtherCluster;
+  return Scope::kOtherDatacenters;
+}
+
+void CacheLeaderModel::schedule_next_coherency() {
+  const double rate = mix_->cache_leader.coherency_msgs_per_sec;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    const Scope scope = follower_scope();
+    // Coherency partners: followers in Frontend clusters and leaders in
+    // other Cache clusters. Demand is mildly skewed toward the shards
+    // that are currently hot, and the hot set churns every ~500 ms —
+    // this is what makes leader heavy hitters few and short-lived
+    // (Table 4, Figures 10b/17c).
+    const HostRole role = scope == Scope::kSameCluster ? HostRole::kCacheLeader
+                                                       : HostRole::kCacheFollower;
+    const auto rotation = static_cast<std::uint64_t>(
+        sim_->now().count_nanos() / 250'000'000LL);
+    const auto peer = peers_.pick_skewed(role, scope, rng_, 1.05, rotation);
+    if (peer) {
+      Connection& conn = conns_.pooled(*peer, core::ports::kCacheCoherence);
+      const DataSize msg = sampled_size(coherency_size_, rng_, 64);
+      // Invalidations are pipelined fire-and-forget; the TCP-level delayed
+      // ACK synthesized by Wire::send is the only reverse traffic.
+      wire_->send(conn, msg, sim_->now());
+    }
+    schedule_next_coherency();
+  });
+}
+
+void CacheLeaderModel::schedule_next_db_op() {
+  const CacheLeaderParams& p = mix_->cache_leader;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / p.db_ops_per_sec)), [this] {
+    const CacheLeaderParams& p2 = mix_->cache_leader;
+    // Databases are reached in this DC and across the backbone ("single
+    // geographically distributed instance", §4.2).
+    if (!db_peers_.empty()) {
+      const core::HostId db = db_peers_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(db_peers_.size()) - 1))];
+      const bool remote = fleet_->host(db).datacenter != fleet_->host(self_).datacenter;
+      Connection& conn = conns_.pooled(db, core::ports::kMysql);
+      const TimePoint sent = wire_->send(conn, p2.db_op_size, sim_->now());
+      const Duration rtt = remote ? Duration::millis(35) : Duration::micros(600);
+      wire_->receive(conn, DataSize::bytes(900), sent + rtt);
+    }
+    schedule_next_db_op();
+  });
+}
+
+void CacheLeaderModel::schedule_next_fill() {
+  // Fill requests from followers in this datacenter (inbound), answered
+  // with objects. Rate scales with follower miss traffic.
+  const double rate = mix_->cache_follower.gets_served_per_sec *
+                      mix_->cache_follower.miss_rate * 0.25;
+  if (rate <= 0.0) return;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    const auto follower =
+        peers_.pick(HostRole::kCacheFollower, Scope::kSameDatacenterOtherCluster, rng_);
+    if (follower) {
+      Connection& conn = conns_.pooled_inbound(*follower, core::ports::kCacheCoherence);
+      const TimePoint got = wire_->receive(conn, mix_->cache_follower.fill_request, sim_->now());
+      const DataSize object = sampled_size(object_size_, rng_, 32);
+      wire_->send(conn, object, got + Duration::micros(120));
+    }
+    schedule_next_fill();
+  });
+}
+
+void CacheLeaderModel::schedule_next_ephemeral() {
+  const double rate = mix_->cache_leader.ephemeral_per_sec;
+  if (rate <= 0.0) return;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    const Scope scope = follower_scope();
+    const auto peer = peers_.pick(HostRole::kCacheFollower, scope, rng_);
+    if (peer) {
+      const Connection conn = conns_.ephemeral(*peer, core::ports::kCacheCoherence);
+      const TimePoint opened = wire_->open(conn, sim_->now());
+      const TimePoint sent = wire_->send(conn, DataSize::bytes(500), opened);
+      wire_->close(conn, sent + Duration::micros(100));
+    }
+    schedule_next_ephemeral();
+  });
+}
+
+void CacheLeaderModel::schedule_next_misc() {
+  const CacheLeaderParams& p = mix_->cache_leader;
+  // Multifeed invalidations plus background services.
+  const double fg_bytes =
+      p.coherency_msgs_per_sec * static_cast<double>(p.coherency_msg_median.count_bytes()) +
+      p.db_ops_per_sec * static_cast<double>(p.db_op_size.count_bytes());
+  const double mf_bytes = fg_bytes * p.multifeed_share;
+  const double misc_bytes = fg_bytes * p.misc_bytes_fraction;
+  const double mf_rate = mf_bytes / static_cast<double>(p.multifeed_msg.count_bytes());
+  const double misc_rate = misc_bytes / static_cast<double>(p.misc_message.count_bytes());
+  const double total_rate = mf_rate + misc_rate;
+  if (total_rate <= 0.0) return;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / total_rate)),
+                       [this, mf_rate, total_rate] {
+    const CacheLeaderParams& p2 = mix_->cache_leader;
+    if (rng_.bernoulli(mf_rate / total_rate)) {
+      if (!mf_peers_.empty()) {
+        const core::HostId mf = mf_peers_[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(mf_peers_.size()) - 1))];
+        Connection& conn = conns_.pooled(mf, core::ports::kMultifeed);
+        wire_->send(conn, p2.multifeed_msg, sim_->now());
+      }
+    } else if (!misc_peers_.empty()) {
+      const core::HostId svc = misc_peers_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(misc_peers_.size()) - 1))];
+      Connection& conn = conns_.pooled(svc, core::ports::kSlb);
+      wire_->send(conn, p2.misc_message, sim_->now());
+    }
+    schedule_next_misc();
+  });
+}
+
+}  // namespace fbdcsim::services

@@ -1,0 +1,214 @@
+#include "fbdcsim/services/hadoop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fbdcsim::services {
+
+namespace {
+using core::DataSize;
+using core::Duration;
+using core::HostRole;
+using core::TimePoint;
+}  // namespace
+
+HadoopModel::HadoopModel(const topology::Fleet& fleet, core::HostId self,
+                         const ServiceMix& mix, core::RngStream rng)
+    : fleet_{&fleet},
+      self_{self},
+      mix_{&mix},
+      rng_{rng},
+      peers_{fleet, self},
+      conns_{fleet, self},
+      transfer_size_{static_cast<double>(mix.hadoop.transfer_median.count_bytes()),
+                     mix.hadoop.transfer_sigma} {
+  // Rack-local peers: the whole rack (fairly even spread, §4.2).
+  for (const core::HostId h : peers_.candidates(HostRole::kHadoop, Scope::kSameRack)) {
+    rack_partners_.push_back(h);
+  }
+  // Cluster partner set: partner_fraction of the cluster's Hadoop hosts,
+  // drawn so they land across most racks (shuffle partners + HDFS replica
+  // targets + data consumers).
+  const auto cluster_peers = peers_.candidates(HostRole::kHadoop, Scope::kSameClusterOtherRack);
+  const auto want = std::max<std::size_t>(
+      8, static_cast<std::size_t>(static_cast<double>(cluster_peers.size()) *
+                                  mix.hadoop.partner_fraction * 10.0));
+  std::unordered_set<std::uint32_t> chosen;
+  while (partners_.size() < std::min(want, cluster_peers.size())) {
+    const auto idx = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(cluster_peers.size()) - 1));
+    if (chosen.insert(cluster_peers[idx].value()).second) {
+      partners_.push_back(cluster_peers[idx]);
+    }
+  }
+}
+
+void HadoopModel::start(sim::Simulator& sim, TrafficSink& sink) {
+  sim_ = &sim;
+  sink_ = &sink;
+  wire_ = std::make_unique<Wire>(sim, sink, self_);
+  schedule_next_control();
+  // Start in a random phase position so co-located nodes desynchronize.
+  if (rng_.bernoulli(mix_->hadoop.busy_period_mean.to_seconds() /
+                     (mix_->hadoop.busy_period_mean.to_seconds() +
+                      mix_->hadoop.quiet_period_mean.to_seconds()))) {
+    enter_busy();
+  } else {
+    enter_quiet();
+  }
+}
+
+void HadoopModel::enter_quiet() {
+  busy_ = false;
+  const std::uint64_t epoch = ++phase_epoch_;
+  const Duration len =
+      Duration::from_seconds(rng_.exponential(mix_->hadoop.quiet_period_mean.to_seconds()));
+  sim_->schedule_after(len, [this, epoch] {
+    if (epoch == phase_epoch_) enter_busy();
+  });
+}
+
+void HadoopModel::enter_busy() {
+  busy_ = true;
+  const std::uint64_t epoch = ++phase_epoch_;
+  const Duration len =
+      Duration::from_seconds(rng_.exponential(mix_->hadoop.busy_period_mean.to_seconds()));
+  sim_->schedule_after(len, [this, epoch] {
+    if (epoch == phase_epoch_) enter_quiet();
+  });
+  schedule_next_transfer();
+  start_shuffle_streams(epoch);
+}
+
+void HadoopModel::start_shuffle_streams(std::uint64_t epoch) {
+  // A reducer fetches map output from many mappers at once, and HDFS
+  // writes stream through replica pipelines; both hold connections open
+  // for the whole phase with steady chunked transfers. These standing
+  // streams produce the ~25 concurrent connections of §6.4.
+  const HadoopParams& p = mix_->hadoop;
+  for (int i = 0; i < p.shuffle_streams; ++i) {
+    const bool rack_local = rng_.bernoulli(p.rack_local_fraction) && !rack_partners_.empty();
+    core::HostId peer;
+    if (rack_local) {
+      peer = rack_partners_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(rack_partners_.size()) - 1))];
+    } else if (!partners_.empty()) {
+      peer = partners_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(partners_.size()) - 1))];
+    } else {
+      continue;
+    }
+    const bool inbound = i % 2 == 0;  // half fetches, half serves/writes
+    const Connection conn = inbound
+                                ? conns_.ephemeral_inbound(peer, core::ports::kMapReduceShuffle)
+                                : conns_.ephemeral(peer, core::ports::kMapReduceShuffle);
+    const TimePoint opened = inbound ? wire_->open_inbound(conn, sim_->now())
+                                     : wire_->open(conn, sim_->now());
+    schedule_stream_chunk(epoch, conn, inbound, opened + Duration::micros(100));
+  }
+}
+
+void HadoopModel::schedule_stream_chunk(std::uint64_t epoch, Connection conn, bool inbound,
+                                        TimePoint at) {
+  if (at < sim_->now()) at = sim_->now();
+  sim_->schedule_at(at, [this, epoch, conn, inbound] {
+    if (epoch != phase_epoch_ || !busy_) {
+      wire_->close(conn, sim_->now());
+      return;
+    }
+    const HadoopParams& p = mix_->hadoop;
+    core::LogNormal chunk_dist{static_cast<double>(p.stream_chunk_median.count_bytes()),
+                               p.stream_chunk_sigma};
+    const DataSize chunk = DataSize::bytes(std::max<std::int64_t>(
+        512, static_cast<std::int64_t>(chunk_dist.sample(rng_))));
+    // Streams are disk/application bound (~0.3-0.5 Gbps), not line rate.
+    const Duration gap = Duration::micros(static_cast<std::int64_t>(25 + rng_.exponential(10.0)));
+    const TimePoint done = inbound ? wire_->receive(conn, chunk, sim_->now(), gap)
+                                   : wire_->send(conn, chunk, sim_->now(), gap);
+    const Duration wait = Duration::from_seconds(
+        rng_.exponential(p.stream_interval_mean.to_seconds()));
+    schedule_stream_chunk(epoch, conn, inbound, done + wait);
+  });
+}
+
+void HadoopModel::schedule_next_transfer() {
+  if (!busy_) return;
+  const std::uint64_t epoch = phase_epoch_;
+  const double rate = mix_->hadoop.transfers_per_sec_busy;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this, epoch] {
+    if (epoch != phase_epoch_ || !busy_) return;
+    // Shuffle is bidirectional: this node both serves map output and
+    // fetches it. Synthesize inbound transfers from outside the rack only
+    // (rack-local inbound comes from neighbours' models; see
+    // traffic_model.h).
+    launch_transfer(/*inbound=*/rng_.bernoulli(0.5));
+    schedule_next_transfer();
+  });
+}
+
+void HadoopModel::launch_transfer(bool inbound) {
+  const HadoopParams& p = mix_->hadoop;
+
+  const bool rack_local = !inbound && rng_.bernoulli(p.rack_local_fraction) &&
+                          !rack_partners_.empty();
+  core::HostId peer;
+  if (rack_local) {
+    peer = rack_partners_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(rack_partners_.size()) - 1))];
+  } else if (!partners_.empty()) {
+    peer = partners_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(partners_.size()) - 1))];
+  } else {
+    return;
+  }
+
+  const auto bytes = std::min<std::int64_t>(
+      std::max<std::int64_t>(128, static_cast<std::int64_t>(transfer_size_.sample(rng_))),
+      p.transfer_cap.count_bytes());
+  const DataSize size = DataSize::bytes(bytes);
+
+  // Bulk data moves at a pace bounded by disk/app throughput; small
+  // transfers go back-to-back.
+  const Duration gap = Duration::micros(static_cast<std::int64_t>(2 + rng_.exponential(10.0)));
+  const TimePoint now = sim_->now();
+
+  if (inbound) {
+    const Connection conn = conns_.ephemeral_inbound(peer, core::ports::kMapReduceShuffle);
+    const TimePoint opened = wire_->open_inbound(conn, now);
+    const TimePoint done = wire_->receive(conn, size, opened, gap);
+    wire_->close(conn, done + Duration::micros(50));
+  } else {
+    const Connection conn = conns_.ephemeral(peer, core::ports::kMapReduceShuffle);
+    const TimePoint opened = wire_->open(conn, now);
+    const TimePoint done = wire_->send(conn, size, opened, gap);
+    wire_->close(conn, done + Duration::micros(50));
+  }
+}
+
+void HadoopModel::schedule_next_control() {
+  const HadoopParams& p = mix_->hadoop;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / p.control_msgs_per_sec)),
+                       [this] {
+    const HadoopParams& p2 = mix_->hadoop;
+    // Heartbeats and job-tracker RPCs flow regardless of phase; a sliver
+    // (misc_bytes_fraction, 0.2% in Table 2) leaves the service entirely.
+    if (rng_.bernoulli(p2.misc_bytes_fraction)) {
+      const auto svc = peers_.pick(HostRole::kService, Scope::kSameDatacenter, rng_);
+      if (svc) {
+        Connection& conn = conns_.pooled(*svc, core::ports::kSlb);
+        wire_->send(conn, p2.control_msg, sim_->now());
+      }
+    } else {
+      const auto peer = peers_.pick(HostRole::kHadoop, Scope::kSameClusterOtherRack, rng_);
+      if (peer) {
+        Connection& conn = conns_.pooled(*peer, core::ports::kHdfs);
+        const TimePoint sent = wire_->send(conn, p2.control_msg, sim_->now());
+        wire_->receive(conn, DataSize::bytes(200), sent + Duration::micros(250));
+      }
+    }
+    schedule_next_control();
+  });
+}
+
+}  // namespace fbdcsim::services

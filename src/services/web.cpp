@@ -1,0 +1,200 @@
+#include "fbdcsim/services/web.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fbdcsim::services {
+
+namespace {
+using core::DataSize;
+using core::Duration;
+using core::HostRole;
+using core::TimePoint;
+}  // namespace
+
+WebServerModel::WebServerModel(const topology::Fleet& fleet, core::HostId self,
+                               const ServiceMix& mix, core::RngStream rng)
+    : fleet_{&fleet},
+      self_{self},
+      mix_{&mix},
+      rng_{rng},
+      peers_{fleet, self},
+      conns_{fleet, self},
+      slb_response_{static_cast<double>(mix.web.slb_response_mean.count_bytes()),
+                    mix.web.slb_response_sigma},
+      hot_response_{static_cast<double>(mix.hot_objects.hot_object_median.count_bytes()),
+                    mix.hot_objects.hot_object_sigma},
+      cold_response_{static_cast<double>(mix.hot_objects.cold_object_median.count_bytes()),
+                     mix.hot_objects.cold_object_sigma},
+      cache_response_{static_cast<double>(mix.cache_follower.object_median.count_bytes()),
+                      mix.cache_follower.object_sigma} {
+  // Calibrate the misc (background) byte rate so that it is the configured
+  // fraction of total outbound bytes, given the per-request byte budget.
+  const WebParams& w = mix.web;
+  const double per_request_bytes =
+      w.cache_gets_per_request_mean * static_cast<double>(w.cache_get_request.count_bytes()) +
+      w.multifeed_calls_per_request_mean *
+          static_cast<double>(w.multifeed_request.count_bytes()) +
+      static_cast<double>(w.slb_response_mean.count_bytes());
+  const double foreground_rate = w.user_requests_per_sec * per_request_bytes;
+  misc_bytes_per_sec_ =
+      foreground_rate * w.misc_bytes_fraction / (1.0 - w.misc_bytes_fraction);
+
+  // Background endpoints (log sinks, config services) are a small fixed
+  // group, not the whole fleet.
+  core::RngStream setup = rng_.fork("peer-sets");
+  misc_peers_ = peers_.pick_set(HostRole::kService, Scope::kSameDatacenter, 5, setup);
+  const auto remote =
+      peers_.pick_set(HostRole::kService, Scope::kOtherDatacenters, 4, setup);
+  misc_peers_.insert(misc_peers_.end(), remote.begin(), remote.end());
+
+  object_popularity_ = std::make_unique<core::Zipf>(mix.hot_objects.num_objects,
+                                                    mix.hot_objects.zipf_exponent);
+}
+
+void WebServerModel::start(sim::Simulator& sim, TrafficSink& sink) {
+  sim_ = &sim;
+  sink_ = &sink;
+  wire_ = std::make_unique<Wire>(sim, sink, self_);
+  schedule_next_user_request();
+  schedule_next_misc();
+  schedule_next_ephemeral();
+}
+
+void WebServerModel::schedule_next_user_request() {
+  const double mean_gap = 1.0 / mix_->web.user_requests_per_sec;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(mean_gap)), [this] {
+    serve_user_request();
+    schedule_next_user_request();
+  });
+}
+
+void WebServerModel::serve_user_request() {
+  const WebParams& w = mix_->web;
+  const TimePoint now = sim_->now();
+
+  // 1. The user request arrives from an SLB over a pooled connection.
+  const auto slb = mix_->load_balancing_enabled
+                       ? peers_.pick(HostRole::kSlb, Scope::kSameCluster, rng_)
+                       : peers_.pick_skewed(HostRole::kSlb, Scope::kSameCluster, rng_);
+  TimePoint ready = now;
+  if (slb) {
+    Connection& in = conns_.pooled_inbound(*slb, core::ports::kHttp);
+    // The page response piggybacks the ACK of the user request.
+    ready = wire_->receive(in, mix_->slb.request_size, now, Duration::micros(2),
+                           /*ack_outbound=*/false);
+  }
+
+  // 2. After think time, a burst of cache gets spread over the cluster's
+  //    followers. Burst size is geometric around the configured mean, so
+  //    page weights vary (some pages touch few objects, some very many).
+  const double p = 1.0 / w.cache_gets_per_request_mean;
+  const auto gets = static_cast<int>(
+      std::clamp(std::ceil(std::log(1.0 - rng_.uniform()) / std::log(1.0 - p)), 1.0, 400.0));
+  TimePoint at = ready + w.think_time;
+  const auto followers = peers_.candidates(HostRole::kCacheFollower, Scope::kSameCluster);
+  for (int g = 0; g < gets; ++g) {
+    std::optional<core::HostId> follower;
+    bool hot = false;
+    if (!mix_->load_balancing_enabled) {
+      follower = peers_.pick_skewed(HostRole::kCacheFollower, Scope::kSameCluster, rng_);
+    } else if (!followers.empty()) {
+      // Key-based routing: the object's key determines the follower; the
+      // hot head is small and steady, the cold tail rare and large.
+      const std::size_t object = object_popularity_->sample(rng_);
+      hot = object < mix_->hot_objects.hot_head;
+      follower = followers[core::splitmix64(object * 0x9E3779B97F4A7C15ULL) %
+                           followers.size()];
+    }
+    if (!follower) break;
+
+    const DataSize response = DataSize::bytes(std::max<std::int64_t>(
+        32, static_cast<std::int64_t>((hot ? hot_response_ : cold_response_).sample(rng_))));
+    const Duration service = Duration::micros(static_cast<std::int64_t>(
+        80 + rng_.exponential(120.0)));
+
+    if (mix_->connection_pooling_enabled) {
+      Connection& conn = conns_.pooled(*follower, core::ports::kMemcache);
+      // The cache response piggybacks the request's ACK.
+      const TimePoint sent =
+          wire_->send(conn, w.cache_get_request, at, Duration::micros(2), false);
+      wire_->receive(conn, response, sent + service);
+    } else {
+      // Pooling-off ablation: every get pays a handshake and teardown.
+      const Connection conn = conns_.ephemeral(*follower, core::ports::kMemcache);
+      const TimePoint open_done = wire_->open(conn, at);
+      const TimePoint sent = wire_->send(conn, w.cache_get_request, open_done);
+      const TimePoint resp_done = wire_->receive(conn, response, sent + service);
+      wire_->close(conn, resp_done + Duration::micros(20));
+    }
+    at += w.burst_gap;
+  }
+
+  // 3. Multifeed / ads backend calls (same cluster; Figure 2).
+  const auto mf_calls = static_cast<int>(rng_.poisson(w.multifeed_calls_per_request_mean));
+  for (int m = 0; m < mf_calls; ++m) {
+    const auto mf = peers_.pick(HostRole::kMultifeed, Scope::kSameCluster, rng_);
+    if (!mf) break;
+    Connection& conn = conns_.pooled(*mf, core::ports::kMultifeed);
+    const TimePoint sent =
+        wire_->send(conn, w.multifeed_request, at, Duration::micros(2), false);
+    const DataSize mf_resp = DataSize::bytes(std::max<std::int64_t>(
+        64, static_cast<std::int64_t>(
+                core::LogNormal{static_cast<double>(
+                                    mix_->multifeed.response_median.count_bytes()),
+                                mix_->multifeed.response_sigma}
+                    .sample(rng_))));
+    wire_->receive(conn, mf_resp, sent + Duration::micros(300));
+    at += w.burst_gap;
+  }
+
+  // 4. Response back to the SLB.
+  if (slb) {
+    Connection& in = conns_.pooled_inbound(*slb, core::ports::kHttp);
+    const DataSize page = DataSize::bytes(std::max<std::int64_t>(
+        256, static_cast<std::int64_t>(slb_response_.sample(rng_))));
+    wire_->send(in, page, at + Duration::micros(200));
+  }
+}
+
+void WebServerModel::schedule_next_ephemeral() {
+  // Ephemeral one-shot exchanges (health checks, config fetches, one-off
+  // RPCs): a Poisson process whose rate sets the SYN interarrival of
+  // Figure 14 (~2 ms median for Web servers).
+  const double rate = mix_->web.ephemeral_per_sec;
+  if (rate <= 0.0) return;
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / rate)), [this] {
+    const auto peer = peers_.pick(HostRole::kCacheFollower, Scope::kSameCluster, rng_);
+    if (peer) {
+      const Connection conn = conns_.ephemeral(*peer, core::ports::kMemcache);
+      const TimePoint opened = wire_->open(conn, sim_->now());
+      const TimePoint sent = wire_->send(conn, mix_->web.cache_get_request, opened);
+      const DataSize response = DataSize::bytes(std::max<std::int64_t>(
+          32, static_cast<std::int64_t>(cache_response_.sample(rng_))));
+      const TimePoint done = wire_->receive(conn, response, sent + Duration::micros(150));
+      wire_->close(conn, done + Duration::micros(20));
+    }
+    schedule_next_ephemeral();
+  });
+}
+
+void WebServerModel::schedule_next_misc() {
+  const WebParams& w = mix_->web;
+  if (misc_bytes_per_sec_ <= 0.0) return;
+  const double msgs_per_sec =
+      misc_bytes_per_sec_ / static_cast<double>(w.misc_message.count_bytes());
+  sim_->schedule_after(Duration::from_seconds(rng_.exponential(1.0 / msgs_per_sec)), [this] {
+    const WebParams& w2 = mix_->web;
+    // Background traffic (logging, config, static-asset replication) to
+    // the fixed endpoint group, which spans this and other datacenters.
+    if (!misc_peers_.empty()) {
+      const core::HostId peer = misc_peers_[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(misc_peers_.size()) - 1))];
+      Connection& conn = conns_.pooled(peer, core::ports::kSlb);
+      wire_->send(conn, w2.misc_message, sim_->now());
+    }
+    schedule_next_misc();
+  });
+}
+
+}  // namespace fbdcsim::services

@@ -1,0 +1,53 @@
+#include "fbdcsim/sim/simulator.h"
+
+#include <stdexcept>
+
+namespace fbdcsim::sim {
+
+void Simulator::schedule_at(TimePoint at, Action action) {
+  if (at < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::run_until(TimePoint horizon) {
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    // priority_queue::top() is const; moving the action out requires a cast.
+    // The pop immediately after makes this safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+  }
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, Tick tick)
+    : sim_{&sim}, period_{period}, tick_{std::move(tick)}, alive_{std::make_shared<bool>(true)} {
+  if (period_ <= Duration{}) throw std::invalid_argument{"PeriodicTimer: period must be positive"};
+  arm(sim_->now() + period_);
+}
+
+void PeriodicTimer::arm(TimePoint at) {
+  sim_->schedule_at(at, [this, at, alive = alive_] {
+    if (!*alive) return;
+    tick_(at);
+    if (*alive) arm(at + period_);
+  });
+}
+
+}  // namespace fbdcsim::sim

@@ -1,0 +1,37 @@
+#include "fbdcsim/topology/addressing.h"
+
+#include <stdexcept>
+
+namespace fbdcsim::topology {
+
+namespace {
+// 10.0.0.0/8 with 24 payload bits: dc(5) | rack_in_dc(11) | host_in_rack(8).
+constexpr std::uint32_t kBase = 0x0A000000;
+constexpr std::uint32_t kDcBits = 5;
+constexpr std::uint32_t kRackBits = 11;
+constexpr std::uint32_t kHostBits = 8;
+constexpr std::uint32_t kDcMax = (1u << kDcBits) - 1;
+constexpr std::uint32_t kRackMax = (1u << kRackBits) - 1;
+constexpr std::uint32_t kHostMax = (1u << kHostBits) - 1;
+}  // namespace
+
+core::Ipv4Addr AddressPlan::address_for(std::uint32_t dc_index, std::uint32_t rack_in_dc,
+                                        std::uint32_t host_in_rack) {
+  if (dc_index > kDcMax || rack_in_dc > kRackMax || host_in_rack > kHostMax) {
+    throw std::out_of_range{"AddressPlan: coordinates exceed addressing capacity"};
+  }
+  return core::Ipv4Addr{kBase | (dc_index << (kRackBits + kHostBits)) |
+                        (rack_in_dc << kHostBits) | host_in_rack};
+}
+
+std::optional<AddressPlan::Coordinates> AddressPlan::coordinates_of(core::Ipv4Addr addr) {
+  if ((addr.value() & 0xFF000000) != kBase) return std::nullopt;
+  const std::uint32_t payload = addr.value() & 0x00FFFFFF;
+  return Coordinates{
+      payload >> (kRackBits + kHostBits),
+      (payload >> kHostBits) & kRackMax,
+      payload & kHostMax,
+  };
+}
+
+}  // namespace fbdcsim::topology

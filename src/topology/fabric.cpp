@@ -1,0 +1,22 @@
+#include "fbdcsim/topology/fabric.h"
+
+namespace fbdcsim::topology {
+
+Network FabricBuilder::build(const Fleet& fleet) const {
+  // The Fabric is a folded Clos with the same level structure as the 4-post
+  // design (TOR / pod aggregation / datacenter aggregation); reuse the
+  // FourPost builder with Fabric fan-outs and link speeds. The key
+  // provisioning difference — no pod-level oversubscription — comes from the
+  // higher uplink speed and spine count.
+  FourPostConfig cfg;
+  cfg.access = config_.access;
+  cfg.rsw_to_csw = config_.tor_to_fabric;
+  cfg.csw_to_fc = config_.fabric_to_spine;
+  cfg.csw_to_siteagg = config_.fabric_to_spine;
+  cfg.csw_to_dr = config_.fabric_to_spine;
+  cfg.csws_per_cluster = config_.fabric_switches_per_pod;
+  cfg.fcs_per_datacenter = config_.spines_per_plane;
+  return FourPostBuilder{cfg}.build(fleet);
+}
+
+}  // namespace fbdcsim::topology

@@ -1,0 +1,259 @@
+#include "fbdcsim/topology/network.h"
+
+#include <stdexcept>
+
+#include "fbdcsim/core/rng.h"
+
+namespace fbdcsim::topology {
+
+const char* to_string(SwitchKind kind) {
+  switch (kind) {
+    case SwitchKind::kRsw: return "RSW";
+    case SwitchKind::kCsw: return "CSW";
+    case SwitchKind::kFc: return "FC";
+    case SwitchKind::kSiteAgg: return "SiteAgg";
+    case SwitchKind::kDr: return "DR";
+  }
+  return "?";
+}
+
+std::size_t Network::node_key(NodeRef node) const {
+  return node.kind == NodeRef::Kind::kHost ? node.index
+                                           : num_hosts_ + node.index;
+}
+
+std::span<const SwitchId> Network::csws_of(core::ClusterId cluster) const {
+  return csw_by_cluster_.at(cluster.value());
+}
+
+std::span<const SwitchId> Network::fcs_of(core::DatacenterId dc) const {
+  return fc_by_dc_.at(dc.value());
+}
+
+std::span<const SwitchId> Network::siteaggs_of(core::SiteId site) const {
+  return siteagg_by_site_.at(site.value());
+}
+
+std::span<const LinkId> Network::links_from(NodeRef node) const {
+  return out_links_.at(node_key(node));
+}
+
+LinkId Network::find_link(NodeRef from, NodeRef to) const {
+  for (const LinkId lid : links_from(from)) {
+    if (links_[lid.value()].to == to) return lid;
+  }
+  throw std::logic_error{"Network::find_link: nodes not directly connected"};
+}
+
+class NetworkBuild {
+ public:
+  NetworkBuild(Network& net, std::size_t num_hosts, std::size_t est_switches) : net_{net} {
+    net_.num_hosts_ = num_hosts;
+    net_.out_links_.resize(num_hosts + est_switches);
+  }
+
+  SwitchId add_switch(SwitchKind kind, core::RackId rack, core::ClusterId cluster,
+                      core::DatacenterId dc, core::SiteId site) {
+    const SwitchId id{static_cast<std::uint32_t>(net_.switches_.size())};
+    net_.switches_.push_back(Switch{id, kind, rack, cluster, dc, site});
+    const std::size_t key = net_.num_hosts_ + id.value();
+    if (key >= net_.out_links_.size()) net_.out_links_.resize(key + 1);
+    return id;
+  }
+
+  LinkId add_link(NodeRef from, NodeRef to, core::DataRate capacity) {
+    const LinkId id{static_cast<std::uint32_t>(net_.links_.size())};
+    net_.links_.push_back(Link{id, from, to, capacity});
+    net_.out_links_.at(net_.node_key(from)).push_back(id);
+    return id;
+  }
+
+  /// Adds both directions and returns the forward link.
+  LinkId add_duplex(NodeRef a, NodeRef b, core::DataRate capacity) {
+    const LinkId forward = add_link(a, b, capacity);
+    add_link(b, a, capacity);
+    return forward;
+  }
+
+ private:
+  Network& net_;
+};
+
+Network FourPostBuilder::build(const Fleet& fleet) const {
+  Network net;
+  const std::size_t est_switches =
+      fleet.num_racks() + fleet.clusters().size() * static_cast<std::size_t>(config_.csws_per_cluster) +
+      fleet.datacenters().size() * (static_cast<std::size_t>(config_.fcs_per_datacenter) + 1) +
+      fleet.sites().size() * static_cast<std::size_t>(config_.siteaggs_per_site);
+  NetworkBuild b{net, fleet.num_hosts(), est_switches};
+
+  net.rsw_by_rack_.assign(fleet.num_racks(), SwitchId::invalid());
+  net.csw_by_cluster_.resize(fleet.clusters().size());
+  net.fc_by_dc_.resize(fleet.datacenters().size());
+  net.siteagg_by_site_.resize(fleet.sites().size());
+  net.dr_by_dc_.assign(fleet.datacenters().size(), SwitchId::invalid());
+  net.host_uplink_.assign(fleet.num_hosts(), LinkId::invalid());
+  net.host_downlink_.assign(fleet.num_hosts(), LinkId::invalid());
+
+  // RSWs and access links.
+  for (const Rack& rack : fleet.racks()) {
+    const SwitchId rsw =
+        b.add_switch(SwitchKind::kRsw, rack.id, rack.cluster, rack.datacenter, rack.site);
+    net.rsw_by_rack_[rack.id.value()] = rsw;
+    for (const core::HostId host : rack.hosts) {
+      net.host_uplink_[host.value()] =
+          b.add_link(NodeRef::host(host), NodeRef::sw(rsw), config_.access);
+      net.host_downlink_[host.value()] =
+          b.add_link(NodeRef::sw(rsw), NodeRef::host(host), config_.access);
+    }
+  }
+
+  // CSWs; RSW <-> CSW uplinks.
+  for (const Cluster& cluster : fleet.clusters()) {
+    auto& csws = net.csw_by_cluster_[cluster.id.value()];
+    for (int i = 0; i < config_.csws_per_cluster; ++i) {
+      csws.push_back(b.add_switch(SwitchKind::kCsw, core::RackId::invalid(), cluster.id,
+                                  cluster.datacenter, cluster.site));
+    }
+    for (const core::RackId rid : cluster.racks) {
+      const SwitchId rsw = net.rsw_by_rack_[rid.value()];
+      for (const SwitchId csw : csws) {
+        for (int u = 0; u < config_.uplinks_per_csw; ++u) {
+          b.add_duplex(NodeRef::sw(rsw), NodeRef::sw(csw), config_.rsw_to_csw);
+        }
+      }
+    }
+  }
+
+  // FC layer per datacenter; CSW <-> FC.
+  for (const Datacenter& dc : fleet.datacenters()) {
+    auto& fcs = net.fc_by_dc_[dc.id.value()];
+    for (int i = 0; i < config_.fcs_per_datacenter; ++i) {
+      fcs.push_back(b.add_switch(SwitchKind::kFc, core::RackId::invalid(),
+                                 core::ClusterId::invalid(), dc.id, dc.site));
+    }
+    for (const core::ClusterId cid : dc.clusters) {
+      for (const SwitchId csw : net.csw_by_cluster_[cid.value()]) {
+        for (const SwitchId fc : fcs) {
+          b.add_duplex(NodeRef::sw(csw), NodeRef::sw(fc), config_.csw_to_fc);
+        }
+      }
+    }
+  }
+
+  // Site aggregation per site; CSW <-> SiteAgg for every CSW in the site.
+  for (const Site& site : fleet.sites()) {
+    auto& aggs = net.siteagg_by_site_[site.id.value()];
+    for (int i = 0; i < config_.siteaggs_per_site; ++i) {
+      aggs.push_back(b.add_switch(SwitchKind::kSiteAgg, core::RackId::invalid(),
+                                  core::ClusterId::invalid(), core::DatacenterId::invalid(),
+                                  site.id));
+    }
+    for (const core::DatacenterId did : site.datacenters) {
+      for (const core::ClusterId cid : fleet.datacenter(did).clusters) {
+        for (const SwitchId csw : net.csw_by_cluster_[cid.value()]) {
+          for (const SwitchId agg : aggs) {
+            b.add_duplex(NodeRef::sw(csw), NodeRef::sw(agg), config_.csw_to_siteagg);
+          }
+        }
+      }
+    }
+  }
+
+  // One DR per datacenter; CSW <-> DR; DR <-> DR across sites (backbone).
+  for (const Datacenter& dc : fleet.datacenters()) {
+    const SwitchId dr = b.add_switch(SwitchKind::kDr, core::RackId::invalid(),
+                                     core::ClusterId::invalid(), dc.id, dc.site);
+    net.dr_by_dc_[dc.id.value()] = dr;
+    for (const core::ClusterId cid : dc.clusters) {
+      for (const SwitchId csw : net.csw_by_cluster_[cid.value()]) {
+        b.add_duplex(NodeRef::sw(csw), NodeRef::sw(dr), config_.csw_to_dr);
+      }
+    }
+  }
+  for (const Datacenter& a : fleet.datacenters()) {
+    for (const Datacenter& bdc : fleet.datacenters()) {
+      if (a.id.value() < bdc.id.value() && a.site != bdc.site) {
+        b.add_duplex(NodeRef::sw(net.dr_by_dc_[a.id.value()]),
+                     NodeRef::sw(net.dr_by_dc_[bdc.id.value()]), config_.csw_to_dr);
+      }
+    }
+  }
+
+  return net;
+}
+
+namespace {
+
+/// Deterministic ECMP choice: hash the 5-tuple with a per-hop salt.
+std::size_t ecmp_pick(const core::FiveTuple& tuple, std::uint64_t salt, std::size_t n) {
+  const std::uint64_t h = core::splitmix64(std::hash<core::FiveTuple>{}(tuple) ^ salt);
+  return static_cast<std::size_t>(h % n);
+}
+
+}  // namespace
+
+std::vector<LinkId> Router::route(core::HostId src, core::HostId dst,
+                                  const core::FiveTuple& tuple) const {
+  std::vector<LinkId> path;
+  if (src == dst) return path;
+
+  const Host& s = fleet_->host(src);
+  const Host& d = fleet_->host(dst);
+  const SwitchId rsw_s = network_->rsw_of(s.rack);
+  const SwitchId rsw_d = network_->rsw_of(d.rack);
+
+  path.push_back(network_->access_uplink(src));
+  if (s.rack == d.rack) {
+    path.push_back(network_->access_downlink(dst));
+    return path;
+  }
+
+  const core::Locality loc = fleet_->locality(src, dst);
+  if (loc == core::Locality::kIntraCluster) {
+    const auto csws = network_->csws_of(s.cluster);
+    const SwitchId csw = csws[ecmp_pick(tuple, 0x1, csws.size())];
+    path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw)));
+    path.push_back(network_->find_link(NodeRef::sw(csw), NodeRef::sw(rsw_d)));
+  } else if (loc == core::Locality::kIntraDatacenter) {
+    const auto csws_s = network_->csws_of(s.cluster);
+    const auto csws_d = network_->csws_of(d.cluster);
+    const auto fcs = network_->fcs_of(s.datacenter);
+    const SwitchId csw_s = csws_s[ecmp_pick(tuple, 0x2, csws_s.size())];
+    const SwitchId fc = fcs[ecmp_pick(tuple, 0x3, fcs.size())];
+    const SwitchId csw_d = csws_d[ecmp_pick(tuple, 0x4, csws_d.size())];
+    path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw_s)));
+    path.push_back(network_->find_link(NodeRef::sw(csw_s), NodeRef::sw(fc)));
+    path.push_back(network_->find_link(NodeRef::sw(fc), NodeRef::sw(csw_d)));
+    path.push_back(network_->find_link(NodeRef::sw(csw_d), NodeRef::sw(rsw_d)));
+  } else if (s.site == d.site) {
+    // Inter-datacenter, intra-site: via site aggregation.
+    const auto csws_s = network_->csws_of(s.cluster);
+    const auto csws_d = network_->csws_of(d.cluster);
+    const auto aggs = network_->siteaggs_of(s.site);
+    const SwitchId csw_s = csws_s[ecmp_pick(tuple, 0x5, csws_s.size())];
+    const SwitchId agg = aggs[ecmp_pick(tuple, 0x6, aggs.size())];
+    const SwitchId csw_d = csws_d[ecmp_pick(tuple, 0x7, csws_d.size())];
+    path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw_s)));
+    path.push_back(network_->find_link(NodeRef::sw(csw_s), NodeRef::sw(agg)));
+    path.push_back(network_->find_link(NodeRef::sw(agg), NodeRef::sw(csw_d)));
+    path.push_back(network_->find_link(NodeRef::sw(csw_d), NodeRef::sw(rsw_d)));
+  } else {
+    // Inter-site: via datacenter routers and the backbone.
+    const auto csws_s = network_->csws_of(s.cluster);
+    const auto csws_d = network_->csws_of(d.cluster);
+    const SwitchId csw_s = csws_s[ecmp_pick(tuple, 0x8, csws_s.size())];
+    const SwitchId csw_d = csws_d[ecmp_pick(tuple, 0x9, csws_d.size())];
+    const SwitchId dr_s = network_->dr_of(s.datacenter);
+    const SwitchId dr_d = network_->dr_of(d.datacenter);
+    path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw_s)));
+    path.push_back(network_->find_link(NodeRef::sw(csw_s), NodeRef::sw(dr_s)));
+    path.push_back(network_->find_link(NodeRef::sw(dr_s), NodeRef::sw(dr_d)));
+    path.push_back(network_->find_link(NodeRef::sw(dr_d), NodeRef::sw(csw_d)));
+    path.push_back(network_->find_link(NodeRef::sw(csw_d), NodeRef::sw(rsw_d)));
+  }
+  path.push_back(network_->access_downlink(dst));
+  return path;
+}
+
+}  // namespace fbdcsim::topology

@@ -1,0 +1,106 @@
+#include "fbdcsim/topology/standard_fleet.h"
+
+#include <stdexcept>
+
+namespace fbdcsim::topology {
+
+namespace {
+
+void fill_cluster(FleetBuilder& b, ClusterId cluster, ClusterType type,
+                  const StandardFleetConfig& cfg, std::size_t racks) {
+  switch (type) {
+    case ClusterType::kFrontend: {
+      // Scale the standard mix to the requested rack count.
+      const double scale =
+          static_cast<double>(racks) / static_cast<double>(cfg.racks_per_cluster);
+      auto scaled = [scale](std::size_t n) {
+        const auto v = static_cast<std::size_t>(static_cast<double>(n) * scale + 0.5);
+        return v > 0 ? v : std::size_t{1};
+      };
+      std::size_t web = scaled(cfg.frontend_web_racks);
+      std::size_t cache = scaled(cfg.frontend_cache_racks);
+      std::size_t mf = scaled(cfg.frontend_multifeed_racks);
+      while (web + cache + mf > racks && web > 1) --web;
+      while (web + cache + mf > racks && cache > 1) --cache;
+      const std::size_t slb = racks - web - cache - mf;
+      for (std::size_t i = 0; i < web; ++i)
+        b.add_rack_of(cluster, core::HostRole::kWeb, cfg.hosts_per_rack);
+      for (std::size_t i = 0; i < cache; ++i)
+        b.add_rack_of(cluster, core::HostRole::kCacheFollower, cfg.hosts_per_rack);
+      for (std::size_t i = 0; i < mf; ++i)
+        b.add_rack_of(cluster, core::HostRole::kMultifeed, cfg.hosts_per_rack);
+      for (std::size_t i = 0; i < slb; ++i)
+        b.add_rack_of(cluster, core::HostRole::kSlb, cfg.hosts_per_rack);
+      break;
+    }
+    case ClusterType::kCache:
+      for (std::size_t i = 0; i < racks; ++i)
+        b.add_rack_of(cluster, core::HostRole::kCacheLeader, cfg.hosts_per_rack);
+      break;
+    case ClusterType::kHadoop:
+      for (std::size_t i = 0; i < racks; ++i)
+        b.add_rack_of(cluster, core::HostRole::kHadoop, cfg.hosts_per_rack);
+      break;
+    case ClusterType::kDatabase:
+      for (std::size_t i = 0; i < racks; ++i)
+        b.add_rack_of(cluster, core::HostRole::kDatabase, cfg.hosts_per_rack);
+      break;
+    case ClusterType::kService:
+      for (std::size_t i = 0; i < racks; ++i)
+        b.add_rack_of(cluster, core::HostRole::kService, cfg.hosts_per_rack);
+      break;
+  }
+}
+
+}  // namespace
+
+Fleet build_standard_fleet(const StandardFleetConfig& cfg) {
+  if (cfg.sites == 0 || cfg.datacenters_per_site == 0 || cfg.racks_per_cluster == 0 ||
+      cfg.hosts_per_rack == 0) {
+    throw std::invalid_argument{"build_standard_fleet: zero-sized dimension"};
+  }
+  if (cfg.frontend_web_racks + cfg.frontend_cache_racks + cfg.frontend_multifeed_racks >
+      cfg.racks_per_cluster) {
+    throw std::invalid_argument{"build_standard_fleet: Frontend rack mix exceeds cluster size"};
+  }
+
+  FleetBuilder b;
+  for (std::size_t s = 0; s < cfg.sites; ++s) {
+    const SiteId site = b.add_site("site-" + std::to_string(s));
+    for (std::size_t d = 0; d < cfg.datacenters_per_site; ++d) {
+      const DatacenterId dc = b.add_datacenter(site);
+      auto add_clusters = [&](ClusterType type, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+          const ClusterId c = b.add_cluster(dc, type);
+          const std::size_t racks =
+              type == ClusterType::kCache && cfg.cache_racks_per_cluster > 0
+                  ? cfg.cache_racks_per_cluster
+                  : cfg.racks_per_cluster;
+          fill_cluster(b, c, type, cfg, racks);
+        }
+      };
+      add_clusters(ClusterType::kFrontend, cfg.frontend_clusters);
+      add_clusters(ClusterType::kCache, cfg.cache_clusters);
+      add_clusters(ClusterType::kHadoop, cfg.hadoop_clusters);
+      add_clusters(ClusterType::kDatabase, cfg.database_clusters);
+      add_clusters(ClusterType::kService, cfg.service_clusters);
+    }
+  }
+  return b.build();
+}
+
+Fleet build_single_cluster_fleet(ClusterType type, std::size_t racks,
+                                 std::size_t hosts_per_rack) {
+  StandardFleetConfig cfg;
+  cfg.racks_per_cluster = racks;
+  cfg.hosts_per_rack = hosts_per_rack;
+
+  FleetBuilder b;
+  const SiteId site = b.add_site("site-0");
+  const DatacenterId dc = b.add_datacenter(site);
+  const ClusterId cluster = b.add_cluster(dc, type);
+  fill_cluster(b, cluster, type, cfg, racks);
+  return b.build();
+}
+
+}  // namespace fbdcsim::topology

@@ -1,0 +1,70 @@
+#include "fbdcsim/workload/presets.h"
+
+#include <stdexcept>
+
+namespace fbdcsim::workload {
+
+topology::Fleet build_rack_experiment_fleet() {
+  // Two sites x two datacenters. Frontend clusters are large (256 racks)
+  // so a cache follower's destination set can span hundreds of racks, as
+  // in the paper's Figure 16. Racks are 16 hosts.
+  topology::StandardFleetConfig cfg;
+  cfg.sites = 2;
+  cfg.datacenters_per_site = 2;
+  cfg.frontend_clusters = 1;
+  cfg.cache_clusters = 1;
+  cfg.hadoop_clusters = 1;
+  cfg.database_clusters = 1;
+  cfg.service_clusters = 1;
+  cfg.racks_per_cluster = 256;
+  cfg.hosts_per_rack = 16;
+  cfg.frontend_web_racks = 192;   // ~75% Web
+  cfg.frontend_cache_racks = 48;  // ~20% cache followers
+  cfg.frontend_multifeed_racks = 8;
+  return topology::build_standard_fleet(cfg);
+}
+
+topology::Fleet build_fleet_experiment_fleet() {
+  // Cluster counts are calibrated so that, with the per-host rates of the
+  // default ServiceMix, each cluster type's share of total traffic lands
+  // near Table 3's bottom row (Hadoop 23.7, FE 21.5, Svc 18.0, Cache 10.2,
+  // DB 5.2 — the remaining ~21%% of the paper's traffic is outside its
+  // top-five types).
+  topology::StandardFleetConfig cfg;
+  cfg.sites = 2;
+  cfg.datacenters_per_site = 2;
+  cfg.frontend_clusters = 3;
+  cfg.cache_clusters = 1;
+  cfg.hadoop_clusters = 8;
+  cfg.database_clusters = 3;
+  cfg.service_clusters = 11;
+  cfg.racks_per_cluster = 16;
+  cfg.cache_racks_per_cluster = 8;
+  cfg.hosts_per_rack = 8;
+  cfg.frontend_web_racks = 12;
+  cfg.frontend_cache_racks = 3;
+  cfg.frontend_multifeed_racks = 1;
+  return topology::build_standard_fleet(cfg);
+}
+
+core::HostId monitored_host(const topology::Fleet& fleet, core::HostRole role) {
+  for (const topology::Rack& rack : fleet.racks()) {
+    if (rack.role == role && !rack.hosts.empty()) return rack.hosts.front();
+  }
+  throw std::invalid_argument{"monitored_host: no rack with that role"};
+}
+
+RackSimConfig default_rack_config(const topology::Fleet& fleet, core::HostRole role,
+                                  core::Duration capture) {
+  RackSimConfig cfg;
+  cfg.monitored_host = monitored_host(fleet, role);
+  cfg.mirror_whole_rack = role == core::HostRole::kWeb;
+  cfg.capture = capture;
+  cfg.seed = 42;
+  // Trace-only experiments: run un-mirrored neighbours at reduced rate.
+  // Buffer experiments (Figure 15) override this back to 1.0.
+  cfg.background_rate_scale = cfg.mirror_whole_rack ? 1.0 : 0.15;
+  return cfg;
+}
+
+}  // namespace fbdcsim::workload

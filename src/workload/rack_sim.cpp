@@ -1,0 +1,133 @@
+#include "fbdcsim/workload/rack_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fbdcsim::workload {
+
+namespace {
+using services::SimPacket;
+}  // namespace
+
+RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig config)
+    : fleet_{&fleet}, config_{config}, capture_buffer_{config.capture_memory_bytes} {
+  if (!config_.monitored_host.is_valid()) {
+    throw std::invalid_argument{"RackSimulation: monitored_host required"};
+  }
+  rack_ = fleet.host(config_.monitored_host).rack;
+  const topology::Rack& rack = fleet.rack(rack_);
+  num_host_ports_ = rack.hosts.size();
+
+  switching::SwitchConfig sw = config_.rsw;
+  sw.num_ports = num_host_ports_ + static_cast<std::size_t>(config_.uplink_ports);
+  rsw_ = std::make_unique<switching::SharedBufferSwitch>(
+      sim_, sw, [](std::size_t, const SimPacket&) { /* leaves the modelled rack */ });
+
+  // Mirroring rule: the monitored host, or the whole rack for Web racks.
+  std::vector<core::Ipv4Addr> monitored;
+  if (config_.mirror_whole_rack) {
+    for (const core::HostId h : rack.hosts) monitored.push_back(fleet.host(h).addr);
+  } else {
+    monitored.push_back(fleet.host(config_.monitored_host).addr);
+  }
+  mirror_ = std::make_unique<monitoring::PortMirror>(std::move(monitored), capture_buffer_);
+
+  // One traffic model per rack host, each with an independent RNG stream.
+  // Non-mirrored neighbours may run scaled-down (their traffic matters only
+  // for switch-buffer pressure).
+  background_mix_ = scale_rates(config_.mix, config_.background_rate_scale);
+  const core::RngStream root{config_.seed};
+  for (const core::HostId h : rack.hosts) {
+    const bool mirrored = config_.mirror_whole_rack || h == config_.monitored_host;
+    const services::ServiceMix& mix = mirrored ? config_.mix : background_mix_;
+    models_.push_back(services::make_model(fleet, h, mix, root.fork("host", h.value())));
+  }
+}
+
+RackSimulation::~RackSimulation() = default;
+
+std::size_t RackSimulation::egress_port_for(const SimPacket& packet) const {
+  const topology::Host& dst = fleet_->host(packet.dst);
+  if (dst.rack == rack_) {
+    // Downlink port: the destination host's position within the rack.
+    const auto& hosts = fleet_->rack(rack_).hosts;
+    const auto it = std::find(hosts.begin(), hosts.end(), packet.dst);
+    return static_cast<std::size_t>(std::distance(hosts.begin(), it));
+  }
+  // Uplink: ECMP over the four CSW-facing ports by 5-tuple hash.
+  const std::size_t h = std::hash<core::FiveTuple>{}(packet.header.tuple);
+  return num_host_ports_ + h % static_cast<std::size_t>(config_.uplink_ports);
+}
+
+void RackSimulation::observe(const core::PacketHeader& header) {
+  if (capturing_) mirror_->observe(header);
+}
+
+void RackSimulation::host_send(const SimPacket& packet) {
+  observe(packet.header);
+  rsw_->enqueue(egress_port_for(packet), packet);
+}
+
+void RackSimulation::host_receive(const SimPacket& packet) {
+  observe(packet.header);
+  const topology::Host& dst = fleet_->host(packet.dst);
+  if (dst.rack != rack_) return;  // not for this rack (defensive)
+  const auto& hosts = fleet_->rack(rack_).hosts;
+  const auto it = std::find(hosts.begin(), hosts.end(), packet.dst);
+  rsw_->enqueue(static_cast<std::size_t>(std::distance(hosts.begin(), it)), packet);
+}
+
+RackSimResult RackSimulation::run() {
+  // Start the models at t=0; open the capture window after warmup.
+  for (auto& model : models_) model->start(sim_, *this);
+  if (config_.sample_buffer) {
+    sampler_ = std::make_unique<switching::BufferOccupancySampler>(sim_, *rsw_);
+  }
+
+  capture_start_ = core::TimePoint::zero() + config_.warmup;
+  sim_.schedule_at(capture_start_, [this] { capturing_ = true; });
+  sim_.run_until(capture_start_ + config_.capture);
+
+  RackSimResult result;
+  if (sampler_) {
+    sampler_->finish();
+    result.buffer_seconds.assign(sampler_->per_second().begin(), sampler_->per_second().end());
+  }
+  result.trace = capture_buffer_.spool();
+  std::sort(result.trace.begin(), result.trace.end(),
+            [](const core::PacketHeader& a, const core::PacketHeader& b) {
+              return a.timestamp < b.timestamp;
+            });
+  result.capture_dropped = capture_buffer_.dropped();
+  for (std::size_t p = 0; p < rsw_->num_ports(); ++p) {
+    const switching::PortCounters& c = rsw_->counters(p);
+    switching::PortCounters& agg = p < num_host_ports_ ? result.downlinks : result.uplink;
+    agg.tx_packets += c.tx_packets;
+    agg.tx_bytes += c.tx_bytes;
+    agg.enqueued_packets += c.enqueued_packets;
+    agg.dropped_packets += c.dropped_packets;
+    agg.dropped_bytes += c.dropped_bytes;
+  }
+  result.events = sim_.executed_events();
+  result.capture_start = capture_start_;
+  result.capture_end = capture_start_ + config_.capture;
+  return result;
+}
+
+services::ServiceMix scale_rates(const services::ServiceMix& mix, double factor) {
+  services::ServiceMix out = mix;
+  out.web.user_requests_per_sec *= factor;
+  out.cache_follower.gets_served_per_sec *= factor;
+  out.cache_follower.ephemeral_per_sec *= factor;
+  out.cache_leader.coherency_msgs_per_sec *= factor;
+  out.cache_leader.db_ops_per_sec *= factor;
+  out.cache_leader.ephemeral_per_sec *= factor;
+  out.hadoop.transfers_per_sec_busy *= factor;
+  out.hadoop.control_msgs_per_sec *= factor;
+  out.multifeed.requests_served_per_sec *= factor;
+  out.slb.user_requests_per_sec *= factor;
+  out.database.queries_served_per_sec *= factor;
+  return out;
+}
+
+}  // namespace fbdcsim::workload

@@ -1,0 +1,93 @@
+#include "fbdcsim/analysis/burstiness.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdcsim::analysis {
+namespace {
+
+using core::Duration;
+using core::PacketHeader;
+using core::TimePoint;
+
+PacketHeader pkt_at(core::Ipv4Addr src, double t_sec, core::Port sport = 100,
+                    std::int64_t frame = 100) {
+  PacketHeader p;
+  p.timestamp = TimePoint::from_seconds(t_sec);
+  p.tuple.src_ip = src;
+  p.tuple.dst_ip = core::Ipv4Addr{10, 0, 0, 99};
+  p.tuple.src_port = sport;
+  p.frame_bytes = frame;
+  return p;
+}
+
+const core::Ipv4Addr kSelf{10, 0, 0, 1};
+
+TEST(FlowDutyCycleTest, ContinuousFlowHasFullDuty) {
+  std::vector<PacketHeader> trace;
+  for (int i = 0; i < 50; ++i) trace.push_back(pkt_at(kSelf, 0.001 * i));
+  const auto cdf = flow_duty_cycles(trace, kSelf);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf.max(), 1.0);
+}
+
+TEST(FlowDutyCycleTest, BurstyFlowHasLowDuty) {
+  std::vector<PacketHeader> trace;
+  // Active in ms 0 and ms 99 only: duty = 2/100.
+  for (int i = 0; i < 5; ++i) trace.push_back(pkt_at(kSelf, 0.0001 * i));
+  for (int i = 0; i < 5; ++i) trace.push_back(pkt_at(kSelf, 0.099 + 0.0001 * i));
+  const auto cdf = flow_duty_cycles(trace, kSelf);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_NEAR(cdf.max(), 0.02, 1e-9);
+}
+
+TEST(FlowDutyCycleTest, FiltersSmallAndInstantFlows) {
+  std::vector<PacketHeader> trace;
+  // Flow A: 3 packets (below min_packets=5).
+  for (int i = 0; i < 3; ++i) trace.push_back(pkt_at(kSelf, 0.001 * i, 100));
+  // Flow B: 10 packets all in one bin (span < 2).
+  for (int i = 0; i < 10; ++i) trace.push_back(pkt_at(kSelf, 0.00001 * i, 200));
+  // Flow C: qualifies.
+  for (int i = 0; i < 10; ++i) trace.push_back(pkt_at(kSelf, 0.002 * i, 300));
+  const auto cdf = flow_duty_cycles(trace, kSelf);
+  EXPECT_EQ(cdf.size(), 1u);
+}
+
+TEST(PacketTrainTest, SingleTrain) {
+  std::vector<PacketHeader> trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(pkt_at(kSelf, 1e-6 * i, 100, 150));  // 1-us spacing
+  }
+  const auto stats = packet_trains(trace, kSelf, Duration::micros(20));
+  ASSERT_EQ(stats.packets_per_train.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.packets_per_train.max(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.bytes_per_train.max(), 1500.0);
+  EXPECT_NEAR(stats.train_duration_us.max(), 9.0, 1e-9);
+  EXPECT_EQ(stats.gap_between_trains_us.size(), 0u);
+}
+
+TEST(PacketTrainTest, GapSplitsTrains) {
+  std::vector<PacketHeader> trace;
+  for (int i = 0; i < 4; ++i) trace.push_back(pkt_at(kSelf, 1e-6 * i));
+  for (int i = 0; i < 6; ++i) trace.push_back(pkt_at(kSelf, 0.001 + 1e-6 * i));
+  const auto stats = packet_trains(trace, kSelf, Duration::micros(20));
+  ASSERT_EQ(stats.packets_per_train.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.packets_per_train.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.packets_per_train.max(), 6.0);
+  ASSERT_EQ(stats.gap_between_trains_us.size(), 1u);
+  EXPECT_NEAR(stats.gap_between_trains_us.max(), 997.0, 1.0);
+}
+
+TEST(PacketTrainTest, InboundIgnored) {
+  std::vector<PacketHeader> trace;
+  trace.push_back(pkt_at(core::Ipv4Addr{10, 0, 0, 2}, 0.0));
+  const auto stats = packet_trains(trace, kSelf);
+  EXPECT_EQ(stats.packets_per_train.size(), 0u);
+}
+
+TEST(PacketTrainTest, EmptyTrace) {
+  const auto stats = packet_trains({}, kSelf);
+  EXPECT_TRUE(stats.packets_per_train.empty());
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,135 @@
+#include "fbdcsim/analysis/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::analysis {
+namespace {
+
+using core::Duration;
+using core::PacketHeader;
+using core::TimePoint;
+
+class FlowTableTest : public ::testing::Test {
+ protected:
+  FlowTableTest()
+      : fleet_{topology::build_single_cluster_fleet(topology::ClusterType::kFrontend, 8, 4)},
+        resolver_{fleet_} {}
+
+  PacketHeader pkt(core::HostId src, core::HostId dst, core::Port sport, core::Port dport,
+                   double t_sec, std::int64_t payload, core::TcpFlags flags = {}) {
+    PacketHeader p;
+    p.timestamp = TimePoint::from_seconds(t_sec);
+    p.tuple = core::FiveTuple{fleet_.host(src).addr, fleet_.host(dst).addr, sport, dport,
+                              core::Protocol::kTcp};
+    p.payload_bytes = payload;
+    p.frame_bytes = core::wire::tcp_frame_bytes(payload);
+    p.flags = flags;
+    return p;
+  }
+
+  topology::Fleet fleet_;
+  AddrResolver resolver_;
+};
+
+TEST_F(FlowTableTest, AssemblesOutboundFlows) {
+  const core::HostId self{0};
+  const std::vector<PacketHeader> trace{
+      pkt(self, core::HostId{5}, 100, 80, 0.0, 500),
+      pkt(self, core::HostId{5}, 100, 80, 1.0, 300),
+      pkt(self, core::HostId{6}, 101, 80, 0.5, 200),
+      pkt(core::HostId{5}, self, 80, 100, 0.2, 999),  // inbound: excluded
+  };
+  const auto flows = FlowTable::outbound_flows(trace, fleet_.host(self).addr);
+  ASSERT_EQ(flows.size(), 2u);
+  // Sorted by first packet time.
+  EXPECT_EQ(flows[0].payload_bytes, 800);
+  EXPECT_EQ(flows[0].packets, 2);
+  EXPECT_EQ(flows[0].duration(), Duration::seconds(1));
+  EXPECT_EQ(flows[1].payload_bytes, 200);
+  EXPECT_EQ(flows[1].duration(), Duration{});
+}
+
+TEST_F(FlowTableTest, RecordsSynFin) {
+  const core::HostId self{0};
+  const std::vector<PacketHeader> trace{
+      pkt(self, core::HostId{5}, 100, 80, 0.0, 0, {.syn = true}),
+      pkt(self, core::HostId{5}, 100, 80, 0.1, 500),
+      pkt(self, core::HostId{5}, 100, 80, 0.2, 0, {.ack = true, .fin = true}),
+      pkt(self, core::HostId{6}, 101, 80, 0.0, 100),
+  };
+  const auto flows = FlowTable::outbound_flows(trace, fleet_.host(self).addr);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_TRUE(flows[0].saw_syn);
+  EXPECT_TRUE(flows[0].saw_fin);
+  EXPECT_FALSE(flows[1].saw_syn);
+}
+
+TEST_F(FlowTableTest, AllFlowsMergesDirections) {
+  const core::HostId self{0};
+  const std::vector<PacketHeader> trace{
+      pkt(self, core::HostId{5}, 100, 80, 0.0, 500),
+      pkt(core::HostId{5}, self, 80, 100, 0.1, 300),  // reverse direction
+  };
+  const auto flows = FlowTable::all_flows(trace);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].payload_bytes, 800);
+  EXPECT_EQ(flows[0].packets, 2);
+}
+
+TEST_F(FlowTableTest, ByteConservation) {
+  const core::HostId self{0};
+  std::vector<PacketHeader> trace;
+  std::int64_t total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t payload = 10 + (i * 37) % 1400;
+    trace.push_back(pkt(self, core::HostId{1 + static_cast<std::uint32_t>(i % 7)},
+                        static_cast<core::Port>(100 + i % 13), 80, 0.001 * i, payload));
+    total += payload;
+  }
+  const auto flows = FlowTable::outbound_flows(trace, fleet_.host(self).addr);
+  std::int64_t sum = 0;
+  std::int64_t packets = 0;
+  for (const Flow& f : flows) {
+    sum += f.payload_bytes;
+    packets += f.packets;
+  }
+  EXPECT_EQ(sum, total);
+  EXPECT_EQ(packets, 500);
+}
+
+TEST_F(FlowTableTest, AggregateToHostAndRack) {
+  const core::HostId self{0};
+  // Hosts 4..7 are rack 1; hosts 8..11 rack 2 (4 hosts/rack).
+  const std::vector<PacketHeader> trace{
+      pkt(self, core::HostId{4}, 100, 80, 0.0, 100),
+      pkt(self, core::HostId{4}, 101, 80, 0.0, 150),  // same host, new flow
+      pkt(self, core::HostId{5}, 102, 80, 0.0, 200),  // same rack, new host
+      pkt(self, core::HostId{8}, 103, 80, 0.0, 400),  // other rack
+  };
+  const auto flows = FlowTable::outbound_flows(trace, fleet_.host(self).addr);
+  ASSERT_EQ(flows.size(), 4u);
+
+  const auto by_host = aggregate(flows, AggLevel::kHost, resolver_);
+  EXPECT_EQ(by_host.size(), 3u);
+
+  const auto by_rack = aggregate(flows, AggLevel::kRack, resolver_);
+  ASSERT_EQ(by_rack.size(), 2u);
+  std::int64_t rack1_bytes = 0;
+  for (const auto& a : by_rack) {
+    if (a.key == fleet_.host(core::HostId{4}).rack.value()) rack1_bytes = a.payload_bytes;
+  }
+  EXPECT_EQ(rack1_bytes, 450);
+
+  const auto by_flow = aggregate(flows, AggLevel::kFlow, resolver_);
+  EXPECT_EQ(by_flow.size(), 4u);
+}
+
+TEST_F(FlowTableTest, EmptyTrace) {
+  EXPECT_TRUE(FlowTable::outbound_flows({}, fleet_.host(core::HostId{0}).addr).empty());
+  EXPECT_TRUE(FlowTable::all_flows({}).empty());
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,150 @@
+#include "fbdcsim/analysis/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::analysis {
+namespace {
+
+using Bin = std::unordered_map<std::uint64_t, double>;
+
+TEST(HeavyHittersOfTest, MinimalCoverSelected) {
+  // 50, 30, 15, 5: total 100. 50% coverage needs just {a}.
+  const Bin bin{{1, 50.0}, {2, 30.0}, {3, 15.0}, {4, 5.0}};
+  const auto hh = heavy_hitters_of(bin, 0.5);
+  ASSERT_EQ(hh.size(), 1u);
+  EXPECT_EQ(hh[0], 1u);
+}
+
+TEST(HeavyHittersOfTest, CoverageThresholdRespected) {
+  const Bin bin{{1, 50.0}, {2, 30.0}, {3, 15.0}, {4, 5.0}};
+  EXPECT_EQ(heavy_hitters_of(bin, 0.51).size(), 2u);
+  EXPECT_EQ(heavy_hitters_of(bin, 0.80).size(), 2u);
+  EXPECT_EQ(heavy_hitters_of(bin, 0.81).size(), 3u);
+  EXPECT_EQ(heavy_hitters_of(bin, 1.0).size(), 4u);
+}
+
+TEST(HeavyHittersOfTest, UniformTrafficNeedsHalfTheKeys) {
+  Bin bin;
+  for (std::uint64_t k = 0; k < 100; ++k) bin[k] = 1.0;
+  EXPECT_EQ(heavy_hitters_of(bin, 0.5).size(), 50u);
+}
+
+TEST(HeavyHittersOfTest, EmptyBin) {
+  EXPECT_TRUE(heavy_hitters_of(Bin{}, 0.5).empty());
+}
+
+TEST(HeavyHittersOfTest, InvarianceToInsertionOrder) {
+  Bin a, b;
+  for (std::uint64_t k = 0; k < 50; ++k) a[k] = static_cast<double>(k % 7 + 1);
+  for (std::uint64_t k = 50; k-- > 0;) b[k] = static_cast<double>(k % 7 + 1);
+  EXPECT_EQ(heavy_hitters_of(a), heavy_hitters_of(b));
+}
+
+TEST(HhPersistenceTest, IdenticalBinsFullyPersist) {
+  BinnedTraffic binned{core::Duration::millis(1), 5};
+  for (std::int64_t bin = 0; bin < 5; ++bin) {
+    binned.add(bin, 1, 100.0);
+    binned.add(bin, 2, 10.0);
+  }
+  const auto persist = hh_persistence(binned);
+  ASSERT_EQ(persist.size(), 4u);
+  for (const double p : persist) EXPECT_DOUBLE_EQ(p, 100.0);
+}
+
+TEST(HhPersistenceTest, DisjointHeavyHittersNeverPersist) {
+  BinnedTraffic binned{core::Duration::millis(1), 4};
+  for (std::int64_t bin = 0; bin < 4; ++bin) {
+    binned.add(bin, static_cast<std::uint64_t>(bin) + 100, 100.0);  // rotating heavy key
+    binned.add(bin, 1, 1.0);
+  }
+  const auto persist = hh_persistence(binned);
+  ASSERT_EQ(persist.size(), 3u);
+  for (const double p : persist) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(HhPersistenceTest, EmptyBinBreaksChain) {
+  BinnedTraffic binned{core::Duration::millis(1), 3};
+  binned.add(0, 1, 100.0);
+  // bin 1 empty
+  binned.add(2, 1, 100.0);
+  EXPECT_TRUE(hh_persistence(binned).empty());
+}
+
+TEST(HhSecondIntersectionTest, StableTrafficFullyIntersects) {
+  // 10 sub-bins per second, same heavy key everywhere.
+  BinnedTraffic sub{core::Duration::millis(100), 20};
+  BinnedTraffic sec{core::Duration::seconds(1), 2};
+  for (std::int64_t i = 0; i < 20; ++i) {
+    sub.add(i, 7, 100.0);
+    sub.add(i, 8, 10.0);
+  }
+  for (std::int64_t i = 0; i < 2; ++i) {
+    sec.add(i, 7, 1000.0);
+    sec.add(i, 8, 100.0);
+  }
+  const auto inter = hh_second_intersection(sub, sec);
+  ASSERT_EQ(inter.size(), 20u);
+  for (const double v : inter) EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(HhSecondIntersectionTest, EphemeralSubHittersScoreZero) {
+  BinnedTraffic sub{core::Duration::millis(100), 10};
+  BinnedTraffic sec{core::Duration::seconds(1), 1};
+  // Each sub-bin has a unique instantaneous heavy key; the second's heavy
+  // key is a slow background key.
+  for (std::int64_t i = 0; i < 10; ++i) {
+    sub.add(i, 100 + static_cast<std::uint64_t>(i), 50.0);
+    sub.add(i, 7, 10.0);
+    sec.add(0, 100 + static_cast<std::uint64_t>(i), 50.0 / 10);
+  }
+  sec.add(0, 7, 1000.0);  // dominates the enclosing second
+  const auto inter = hh_second_intersection(sub, sec);
+  ASSERT_EQ(inter.size(), 10u);
+  for (const double v : inter) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HhStatsTest, CountsAndRates) {
+  BinnedTraffic binned{core::Duration::millis(1), 3};
+  // Each bin: one key with 125 bytes in 1 ms = 1 Mbps.
+  for (std::int64_t bin = 0; bin < 3; ++bin) binned.add(bin, 1, 125.0);
+  const auto stats = hh_stats(binned);
+  EXPECT_EQ(stats.count_per_bin.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.count_per_bin.median(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.size_mbps.median(), 1.0);
+}
+
+TEST(BinOutboundTest, BinsAndKeysPackets) {
+  const auto fleet =
+      topology::build_single_cluster_fleet(topology::ClusterType::kFrontend, 4, 4);
+  const AddrResolver resolver{fleet};
+  const core::Ipv4Addr self = fleet.hosts()[0].addr;
+
+  std::vector<core::PacketHeader> trace;
+  auto add = [&](core::HostId dst, double t, std::int64_t bytes) {
+    core::PacketHeader p;
+    p.timestamp = core::TimePoint::from_seconds(t);
+    p.tuple = core::FiveTuple{self, fleet.host(dst).addr, 100, 80, core::Protocol::kTcp};
+    p.frame_bytes = bytes;
+    trace.push_back(p);
+  };
+  add(core::HostId{4}, 0.0005, 100);   // bin 0
+  add(core::HostId{4}, 0.0015, 200);   // bin 1
+  add(core::HostId{8}, 0.0015, 300);   // bin 1, different rack
+
+  const auto binned = bin_outbound(trace, self, resolver, AggLevel::kRack,
+                                   core::Duration::millis(1), core::TimePoint::zero(),
+                                   core::Duration::millis(3));
+  EXPECT_EQ(binned.num_bins(), 3u);
+  EXPECT_EQ(binned.bin(0).size(), 1u);
+  EXPECT_EQ(binned.bin(1).size(), 2u);
+  EXPECT_TRUE(binned.bin(2).empty());
+  const std::uint64_t rack1 = fleet.host(core::HostId{4}).rack.value();
+  EXPECT_DOUBLE_EQ(binned.bin(1).at(rack1), 200.0);
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

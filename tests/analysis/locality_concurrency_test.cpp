@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "fbdcsim/analysis/concurrency.h"
+#include "fbdcsim/analysis/locality.h"
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::analysis {
+namespace {
+
+using core::Duration;
+using core::PacketHeader;
+using core::TimePoint;
+
+class LocalityAnalysisTest : public ::testing::Test {
+ protected:
+  LocalityAnalysisTest() : fleet_{make_fleet()}, resolver_{fleet_} {}
+
+  static topology::Fleet make_fleet() {
+    topology::StandardFleetConfig cfg;
+    cfg.sites = 2;
+    cfg.datacenters_per_site = 1;
+    cfg.frontend_clusters = 2;
+    cfg.cache_clusters = 0;
+    cfg.hadoop_clusters = 0;
+    cfg.database_clusters = 0;
+    cfg.service_clusters = 0;
+    cfg.racks_per_cluster = 4;
+    cfg.hosts_per_rack = 4;
+    cfg.frontend_web_racks = 2;
+    cfg.frontend_cache_racks = 1;
+    cfg.frontend_multifeed_racks = 1;
+    return topology::build_standard_fleet(cfg);
+  }
+
+  PacketHeader pkt(core::HostId src, core::HostId dst, double t, std::int64_t frame,
+                   std::int64_t payload = -1) {
+    PacketHeader p;
+    p.timestamp = TimePoint::from_seconds(t);
+    p.tuple = core::FiveTuple{fleet_.host(src).addr, fleet_.host(dst).addr,
+                              static_cast<core::Port>(40000 + dst.value()), 80,
+                              core::Protocol::kTcp};
+    p.frame_bytes = frame;
+    p.payload_bytes = payload >= 0 ? payload : frame - 54;
+    return p;
+  }
+
+  /// A host in a different structural position relative to host 0.
+  core::HostId host_with(core::Locality want) {
+    const core::HostId self{0};
+    for (const auto& h : fleet_.hosts()) {
+      if (h.id != self && fleet_.locality(self, h.id) == want) return h.id;
+    }
+    return core::HostId::invalid();
+  }
+
+  topology::Fleet fleet_;
+  AddrResolver resolver_;
+};
+
+TEST_F(LocalityAnalysisTest, SharesSumTo100) {
+  const core::HostId self{0};
+  std::vector<PacketHeader> trace{
+      pkt(self, host_with(core::Locality::kIntraRack), 0.0, 100),
+      pkt(self, host_with(core::Locality::kIntraCluster), 0.0, 300),
+      pkt(self, host_with(core::Locality::kIntraDatacenter), 0.0, 200),
+      pkt(self, host_with(core::Locality::kInterDatacenter), 0.0, 400),
+  };
+  const auto shares = locality_shares(trace, fleet_.host(self).addr, resolver_);
+  EXPECT_DOUBLE_EQ(shares[0], 10.0);
+  EXPECT_DOUBLE_EQ(shares[1], 30.0);
+  EXPECT_DOUBLE_EQ(shares[2], 20.0);
+  EXPECT_DOUBLE_EQ(shares[3], 40.0);
+}
+
+TEST_F(LocalityAnalysisTest, TimeseriesBinsPerSecond) {
+  const core::HostId self{0};
+  const core::HostId peer = host_with(core::Locality::kIntraCluster);
+  std::vector<PacketHeader> trace{
+      pkt(self, peer, 0.1, 100),
+      pkt(self, peer, 0.9, 100),
+      pkt(self, peer, 1.5, 300),
+      pkt(peer, self, 1.6, 999),  // inbound ignored
+  };
+  const auto series = locality_timeseries(trace, fleet_.host(self).addr, resolver_);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].bytes[static_cast<int>(core::Locality::kIntraCluster)], 200.0);
+  EXPECT_DOUBLE_EQ(series[1].total(), 300.0);
+}
+
+TEST_F(LocalityAnalysisTest, RoleSharesUsePayloadBytes) {
+  const core::HostId self{0};  // a Web host
+  // Host ids: racks of 4; fleet has 2 web racks then cache then MF per cluster.
+  const core::HostId cache = fleet_.hosts_with_role(core::HostRole::kCacheFollower)[0];
+  const core::HostId mf = fleet_.hosts_with_role(core::HostRole::kMultifeed)[0];
+  std::vector<PacketHeader> trace{
+      pkt(self, cache, 0.0, 154, 100),
+      pkt(self, cache, 0.0, 154, 100),
+      pkt(self, mf, 0.0, 854, 800),
+  };
+  const auto shares = outbound_role_shares(trace, fleet_.host(self).addr, resolver_);
+  double cache_pct = 0, mf_pct = 0;
+  for (const auto& s : shares) {
+    if (s.role == core::HostRole::kCacheFollower) cache_pct = s.percent;
+    if (s.role == core::HostRole::kMultifeed) mf_pct = s.percent;
+  }
+  EXPECT_DOUBLE_EQ(cache_pct, 20.0);
+  EXPECT_DOUBLE_EQ(mf_pct, 80.0);
+}
+
+TEST_F(LocalityAnalysisTest, FlowsByLocalityBuckets) {
+  const core::HostId self{0};
+  std::vector<PacketHeader> trace{
+      pkt(self, host_with(core::Locality::kIntraRack), 0.0, 154, 100),
+      pkt(self, host_with(core::Locality::kIntraRack), 0.5, 154, 100),
+      pkt(self, host_with(core::Locality::kInterDatacenter), 0.0, 854, 800),
+  };
+  const auto flows = FlowTable::outbound_flows(trace, fleet_.host(self).addr);
+  const auto buckets = flows_by_locality(flows, resolver_);
+  EXPECT_EQ(buckets.size_bytes[static_cast<int>(core::Locality::kIntraRack)].size(), 1u);
+  EXPECT_DOUBLE_EQ(buckets.size_bytes[static_cast<int>(core::Locality::kIntraRack)][0], 200.0);
+  EXPECT_DOUBLE_EQ(buckets.duration_ms[static_cast<int>(core::Locality::kIntraRack)][0], 500.0);
+  EXPECT_EQ(buckets.all_size_bytes.size(), 2u);
+}
+
+TEST_F(LocalityAnalysisTest, ConcurrentRacksCountsDistinctRacks) {
+  const core::HostId self{0};
+  const core::HostId same_rack = host_with(core::Locality::kIntraRack);
+  const core::HostId cluster1 = host_with(core::Locality::kIntraCluster);
+  const core::HostId interdc = host_with(core::Locality::kInterDatacenter);
+
+  // Window 0 (0-5 ms): three destinations in three racks.
+  // Window 1 (5-10 ms): one destination.
+  std::vector<PacketHeader> trace{
+      pkt(self, same_rack, 0.001, 100),
+      pkt(self, cluster1, 0.002, 100),
+      pkt(self, interdc, 0.003, 100),
+      pkt(self, cluster1, 0.007, 100),
+  };
+  const auto cdfs = concurrent_racks(trace, fleet_.host(self).addr, resolver_);
+  ASSERT_EQ(cdfs.all.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdfs.all.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdfs.all.min(), 1.0);
+  // Intra-rack destinations are excluded from the cluster series.
+  EXPECT_DOUBLE_EQ(cdfs.intra_cluster.max(), 1.0);
+  EXPECT_DOUBLE_EQ(cdfs.inter_datacenter.max(), 1.0);
+}
+
+TEST_F(LocalityAnalysisTest, ConcurrentHeavyHitterRacksRestricted) {
+  const core::HostId self{0};
+  const core::HostId big = host_with(core::Locality::kIntraCluster);
+  const core::HostId small1 = host_with(core::Locality::kIntraDatacenter);
+  const core::HostId small2 = host_with(core::Locality::kInterDatacenter);
+  std::vector<PacketHeader> trace{
+      pkt(self, big, 0.001, 10'000),
+      pkt(self, small1, 0.002, 10),
+      pkt(self, small2, 0.003, 10),
+  };
+  const auto all = concurrent_racks(trace, fleet_.host(self).addr, resolver_);
+  const auto hh = concurrent_heavy_hitter_racks(trace, fleet_.host(self).addr, resolver_);
+  EXPECT_DOUBLE_EQ(all.all.max(), 3.0);
+  EXPECT_DOUBLE_EQ(hh.all.max(), 1.0);  // one rack covers 50% of bytes
+}
+
+TEST_F(LocalityAnalysisTest, ConcurrentConnectionsTuplesVsHosts) {
+  const core::HostId self{0};
+  const core::HostId peer = host_with(core::Locality::kIntraCluster);
+  // Two flows to the same host in one window.
+  auto p1 = pkt(self, peer, 0.001, 100);
+  auto p2 = pkt(self, peer, 0.002, 100);
+  p2.tuple.src_port = 50'000;
+  const std::vector<PacketHeader> trace{p1, p2};
+  const auto conc = concurrent_connections(trace, fleet_.host(self).addr);
+  EXPECT_DOUBLE_EQ(conc.tuples.max(), 2.0);
+  EXPECT_DOUBLE_EQ(conc.hosts.max(), 1.0);
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

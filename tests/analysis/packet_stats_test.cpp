@@ -1,0 +1,142 @@
+#include "fbdcsim/analysis/packet_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::analysis {
+namespace {
+
+using core::Duration;
+using core::PacketHeader;
+using core::TimePoint;
+
+PacketHeader raw_packet(double t_sec, std::int64_t frame, core::TcpFlags flags = {}) {
+  PacketHeader p;
+  p.timestamp = TimePoint::from_seconds(t_sec);
+  p.frame_bytes = frame;
+  p.flags = flags;
+  return p;
+}
+
+TEST(PacketSizeCdfTest, MatchesSamples) {
+  const std::vector<PacketHeader> trace{raw_packet(0, 64), raw_packet(0, 200),
+                                        raw_packet(0, 1514)};
+  const auto cdf = packet_size_cdf(trace);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.median(), 200.0);
+}
+
+TEST(SynInterarrivalTest, OnlyInitialSynsCount) {
+  const core::Ipv4Addr self{10, 0, 0, 1};
+  std::vector<PacketHeader> trace;
+  auto add = [&](double t, bool syn, bool ack, core::Ipv4Addr src) {
+    PacketHeader p = raw_packet(t, 64, {.syn = syn, .ack = ack});
+    p.tuple.src_ip = src;
+    trace.push_back(p);
+  };
+  add(0.000, true, false, self);
+  add(0.001, true, true, self);                     // SYN-ACK: ignored
+  add(0.002, false, true, self);                    // data: ignored
+  add(0.003, true, false, core::Ipv4Addr{1, 2, 3, 4});  // inbound: ignored
+  add(0.010, true, false, self);
+  add(0.040, true, false, self);
+
+  const auto cdf = syn_interarrival_cdf(trace, self);
+  ASSERT_EQ(cdf.size(), 2u);  // gaps: 10 ms, 30 ms
+  EXPECT_DOUBLE_EQ(cdf.min(), 10'000.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 30'000.0);
+}
+
+TEST(ArrivalCountsTest, BinsPackets) {
+  std::vector<PacketHeader> trace;
+  for (int i = 0; i < 10; ++i) trace.push_back(raw_packet(0.001 * i, 100));
+  const auto counts = arrival_counts(trace, Duration::millis(5));
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 5);
+  EXPECT_EQ(counts[1], 5);
+}
+
+TEST(IdleBinFractionTest, ContinuousVsOnOff) {
+  // Continuous: a packet every ms for 100 ms.
+  std::vector<PacketHeader> continuous;
+  for (int i = 0; i < 100; ++i) continuous.push_back(raw_packet(0.001 * i, 100));
+  EXPECT_DOUBLE_EQ(idle_bin_fraction(continuous, Duration::millis(10)), 0.0);
+
+  // ON/OFF: 10 ms on, 90 ms off, repeated.
+  std::vector<PacketHeader> onoff;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 10; ++i) {
+      onoff.push_back(raw_packet(0.1 * burst + 0.001 * i, 100));
+    }
+  }
+  EXPECT_GT(idle_bin_fraction(onoff, Duration::millis(10)), 0.5);
+}
+
+TEST(IdleBinFractionTest, EmptyTraceIsFullyIdle) {
+  EXPECT_DOUBLE_EQ(idle_bin_fraction({}, Duration::millis(10)), 1.0);
+}
+
+class RateStabilityTest : public ::testing::Test {
+ protected:
+  RateStabilityTest()
+      : fleet_{topology::build_single_cluster_fleet(topology::ClusterType::kFrontend, 8, 4)},
+        resolver_{fleet_},
+        self_{fleet_.hosts()[0].addr} {}
+
+  PacketHeader to_host(core::HostId dst, double t, std::int64_t bytes) {
+    PacketHeader p = raw_packet(t, bytes);
+    p.tuple.src_ip = self_;
+    p.tuple.dst_ip = fleet_.host(dst).addr;
+    return p;
+  }
+
+  topology::Fleet fleet_;
+  AddrResolver resolver_;
+  core::Ipv4Addr self_;
+};
+
+TEST_F(RateStabilityTest, PerRackRatesAccumulate) {
+  std::vector<PacketHeader> trace;
+  // 1000 B/s to rack of host 4 for 3 seconds; 2000 B/s to rack of host 8.
+  for (int sec = 0; sec < 3; ++sec) {
+    trace.push_back(to_host(core::HostId{4}, sec + 0.1, 1000));
+    trace.push_back(to_host(core::HostId{8}, sec + 0.2, 1500));
+    trace.push_back(to_host(core::HostId{9}, sec + 0.3, 500));  // same rack as 8
+  }
+  const auto rates = per_rack_second_rates(trace, self_, resolver_, TimePoint::zero(),
+                                           Duration::seconds(3));
+  ASSERT_EQ(rates.rack_keys.size(), 2u);
+  ASSERT_EQ(rates.seconds, 3u);
+  for (const auto& series : rates.bytes_per_sec) {
+    for (const double v : series) EXPECT_TRUE(v == 1000.0 || v == 2000.0);
+  }
+}
+
+TEST_F(RateStabilityTest, PerfectStability) {
+  std::vector<PacketHeader> trace;
+  for (int sec = 0; sec < 10; ++sec) {
+    trace.push_back(to_host(core::HostId{4}, sec + 0.5, 1000));
+  }
+  const auto rates = per_rack_second_rates(trace, self_, resolver_, TimePoint::zero(),
+                                           Duration::seconds(10));
+  const auto stability = rate_stability(rates);
+  EXPECT_DOUBLE_EQ(stability.within_2x_of_median, 1.0);
+  EXPECT_DOUBLE_EQ(stability.significant_change, 0.0);
+}
+
+TEST_F(RateStabilityTest, WildSwingsDetected) {
+  std::vector<PacketHeader> trace;
+  for (int sec = 0; sec < 10; ++sec) {
+    // Alternate 100 B and 100 KB seconds.
+    trace.push_back(to_host(core::HostId{4}, sec + 0.5, sec % 2 == 0 ? 100 : 100'000));
+  }
+  const auto rates = per_rack_second_rates(trace, self_, resolver_, TimePoint::zero(),
+                                           Duration::seconds(10));
+  const auto stability = rate_stability(rates);
+  EXPECT_LT(stability.within_2x_of_median, 0.7);
+  EXPECT_GT(stability.significant_change, 0.3);
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

@@ -1,0 +1,73 @@
+#include "fbdcsim/analysis/te_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/core/rng.h"
+
+namespace fbdcsim::analysis {
+namespace {
+
+TEST(TeEvalTest, PerfectlyStableTrafficIsFullyPredictable) {
+  BinnedTraffic binned{core::Duration::millis(100), 10};
+  for (std::int64_t bin = 0; bin < 10; ++bin) {
+    binned.add(bin, 1, 100.0);
+    binned.add(bin, 2, 100.0);
+    binned.add(bin, 3, 1.0);
+  }
+  const auto eval = evaluate_reactive_te(binned);
+  EXPECT_EQ(eval.intervals, 9);
+  // HH = {1} or {1,2}; both persist fully, covering their share of bytes.
+  EXPECT_NEAR(eval.predicted_byte_coverage, eval.oracle_byte_coverage, 1e-9);
+  EXPECT_GE(eval.oracle_byte_coverage, 0.5);
+  EXPECT_TRUE(eval.meets_benson_threshold());
+}
+
+TEST(TeEvalTest, RotatingHeavyHittersAreUnpredictable) {
+  BinnedTraffic binned{core::Duration::millis(100), 10};
+  for (std::int64_t bin = 0; bin < 10; ++bin) {
+    binned.add(bin, 100 + static_cast<std::uint64_t>(bin), 1000.0);  // heavy, then gone
+    binned.add(bin, 1, 10.0);  // small persistent background
+  }
+  const auto eval = evaluate_reactive_te(binned);
+  // Yesterday's heavy key carries zero bytes today.
+  EXPECT_LT(eval.predicted_byte_coverage, 0.02);
+  EXPECT_GE(eval.oracle_byte_coverage, 0.5);
+  EXPECT_FALSE(eval.meets_benson_threshold());
+}
+
+TEST(TeEvalTest, OracleIsAlwaysAtLeastCoverage) {
+  core::RngStream rng{5};
+  BinnedTraffic binned{core::Duration::millis(10), 50};
+  for (std::int64_t bin = 0; bin < 50; ++bin) {
+    const int keys = static_cast<int>(rng.uniform_int(1, 30));
+    for (int k = 0; k < keys; ++k) {
+      binned.add(bin, static_cast<std::uint64_t>(rng.uniform_int(0, 99)),
+                 rng.exponential(100.0));
+    }
+  }
+  const auto eval = evaluate_reactive_te(binned, 0.5);
+  EXPECT_GE(eval.oracle_byte_coverage, 0.5);
+  EXPECT_LE(eval.predicted_byte_coverage, 1.0);
+  EXPECT_GE(eval.predicted_byte_coverage, 0.0);
+}
+
+TEST(TeEvalTest, EmptyBinsBreakPredictionChain) {
+  BinnedTraffic binned{core::Duration::millis(100), 4};
+  binned.add(0, 1, 100.0);
+  // bin 1 empty
+  binned.add(2, 1, 100.0);
+  binned.add(3, 1, 100.0);
+  const auto eval = evaluate_reactive_te(binned);
+  EXPECT_EQ(eval.intervals, 1);  // only the 2->3 transition counts
+}
+
+TEST(TeEvalTest, NoIntervalsGivesZeroes) {
+  BinnedTraffic binned{core::Duration::millis(100), 3};
+  binned.add(1, 1, 100.0);  // a single non-empty bin: nothing to predict
+  const auto eval = evaluate_reactive_te(binned);
+  EXPECT_EQ(eval.intervals, 0);
+  EXPECT_DOUBLE_EQ(eval.predicted_byte_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

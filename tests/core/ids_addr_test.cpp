@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "fbdcsim/core/addr.h"
+#include "fbdcsim/core/ids.h"
+
+namespace fbdcsim::core {
+namespace {
+
+TEST(IdTest, DefaultIsInvalid) {
+  HostId id;
+  EXPECT_FALSE(id.is_valid());
+  EXPECT_EQ(id, HostId::invalid());
+}
+
+TEST(IdTest, ValueRoundTrip) {
+  const RackId id{42};
+  EXPECT_TRUE(id.is_valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(IdTest, Ordering) {
+  EXPECT_LT(HostId{1}, HostId{2});
+  EXPECT_EQ(HostId{7}, HostId{7});
+}
+
+TEST(IdTest, Hashable) {
+  std::unordered_set<ClusterId> set;
+  set.insert(ClusterId{1});
+  set.insert(ClusterId{2});
+  set.insert(ClusterId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ipv4AddrTest, OctetConstruction) {
+  const Ipv4Addr a{10, 1, 2, 3};
+  EXPECT_EQ(a.value(), 0x0A010203u);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 1);
+  EXPECT_EQ(a.octet(2), 2);
+  EXPECT_EQ(a.octet(3), 3);
+}
+
+TEST(Ipv4AddrTest, ToStringRoundTrip) {
+  const Ipv4Addr a{192, 168, 0, 1};
+  EXPECT_EQ(a.to_string(), "192.168.0.1");
+  EXPECT_EQ(Ipv4Addr::parse("192.168.0.1"), a);
+}
+
+TEST(Ipv4AddrTest, TryParseRejectsGarbage) {
+  Ipv4Addr out;
+  EXPECT_FALSE(Ipv4Addr::try_parse("not.an.ip", out));
+  EXPECT_FALSE(Ipv4Addr::try_parse("1.2.3.4.5", out));
+  EXPECT_FALSE(Ipv4Addr::try_parse("256.0.0.1", out));
+  EXPECT_FALSE(Ipv4Addr::try_parse("", out));
+  EXPECT_TRUE(Ipv4Addr::try_parse("0.0.0.0", out));
+  EXPECT_TRUE(Ipv4Addr::try_parse("255.255.255.255", out));
+}
+
+}  // namespace
+}  // namespace fbdcsim::core

@@ -1,0 +1,106 @@
+#include "fbdcsim/core/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdcsim::core {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  RngStream a{123};
+  RngStream b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  RngStream a{1};
+  RngStream b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsIndependentOfDrawCount) {
+  // Forking must depend only on the seed, not on how many values were
+  // drawn — this is what guarantees adding a component doesn't perturb
+  // existing ones.
+  RngStream a{99};
+  RngStream b{99};
+  (void)b.uniform();
+  (void)b.uniform();
+  RngStream fa = a.fork("child");
+  RngStream fb = b.fork("child");
+  EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+TEST(RngTest, NamedForksAreIndependent) {
+  RngStream root{7};
+  RngStream a = root.fork("alpha");
+  RngStream b = root.fork("beta");
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, IndexedForksAreIndependent) {
+  RngStream root{7};
+  RngStream a = root.fork("host", 0);
+  RngStream b = root.fork("host", 1);
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  RngStream rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  RngStream rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  RngStream rng{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  RngStream rng{11};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonMean) {
+  RngStream rng{13};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(9.0));
+  EXPECT_NEAR(sum / n, 9.0, 0.1);
+}
+
+TEST(SplitMixTest, Deterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(HashNameTest, DistinctNames) {
+  EXPECT_NE(hash_name("a"), hash_name("b"));
+  EXPECT_EQ(hash_name("same"), hash_name("same"));
+}
+
+}  // namespace
+}  // namespace fbdcsim::core

@@ -1,0 +1,79 @@
+#include "fbdcsim/core/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdcsim::core {
+namespace {
+
+TEST(DurationTest, FactoryUnitsConvert) {
+  EXPECT_EQ(Duration::nanos(1).count_nanos(), 1);
+  EXPECT_EQ(Duration::micros(1).count_nanos(), 1'000);
+  EXPECT_EQ(Duration::millis(1).count_nanos(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).count_nanos(), 1'000'000'000);
+  EXPECT_EQ(Duration::minutes(1).count_nanos(), 60'000'000'000);
+  EXPECT_EQ(Duration::hours(1).count_nanos(), 3'600'000'000'000);
+}
+
+TEST(DurationTest, FromSecondsRoundsToNearestNano) {
+  EXPECT_EQ(Duration::from_seconds(1.5).count_nanos(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(1e-9).count_nanos(), 1);
+  EXPECT_EQ(Duration::from_seconds(0.49e-9).count_nanos(), 0);
+  EXPECT_EQ(Duration::from_seconds(-1.5).count_nanos(), -1'500'000'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::millis(3);
+  const Duration b = Duration::millis(2);
+  EXPECT_EQ((a + b).count_nanos(), 5'000'000);
+  EXPECT_EQ((a - b).count_nanos(), 1'000'000);
+  EXPECT_EQ((a * 4).count_nanos(), 12'000'000);
+  EXPECT_EQ((a / 3).count_nanos(), 1'000'000);
+  EXPECT_EQ(a / b, 1);
+  EXPECT_EQ((a % b).count_nanos(), 1'000'000);
+  EXPECT_EQ((-a).count_nanos(), -3'000'000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_TRUE(Duration{}.is_zero());
+  EXPECT_TRUE((Duration::millis(-1)).is_negative());
+}
+
+TEST(DurationTest, ConversionsToFloating) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::nanos(3500).to_micros(), 3.5);
+}
+
+TEST(DurationTest, ToStringPicksAdaptiveUnit) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::millis(12).to_string(), "12ms");
+  EXPECT_EQ(Duration::micros(7).to_string(), "7us");
+  EXPECT_EQ(Duration::nanos(42).to_string(), "42ns");
+}
+
+TEST(TimePointTest, EpochAndOffsets) {
+  const TimePoint t0 = TimePoint::zero();
+  EXPECT_EQ(t0.count_nanos(), 0);
+  const TimePoint t1 = t0 + Duration::seconds(3);
+  EXPECT_EQ(t1.count_nanos(), 3'000'000'000);
+  EXPECT_EQ((t1 - t0), Duration::seconds(3));
+  EXPECT_EQ((t1 - Duration::seconds(1)).count_nanos(), 2'000'000'000);
+}
+
+TEST(TimePointTest, BinIndex) {
+  const Duration bin = Duration::millis(10);
+  EXPECT_EQ(TimePoint::zero().bin_index(bin), 0);
+  EXPECT_EQ(TimePoint::from_nanos(9'999'999).bin_index(bin), 0);
+  EXPECT_EQ(TimePoint::from_nanos(10'000'000).bin_index(bin), 1);
+  EXPECT_EQ(TimePoint::from_seconds(1.0).bin_index(bin), 100);
+}
+
+TEST(TimePointTest, Ordering) {
+  EXPECT_LT(TimePoint::from_seconds(1.0), TimePoint::from_seconds(2.0));
+  EXPECT_EQ(TimePoint::from_seconds(1.0), TimePoint::from_nanos(1'000'000'000));
+}
+
+}  // namespace
+}  // namespace fbdcsim::core

@@ -1,0 +1,55 @@
+#include "fbdcsim/core/units.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdcsim::core {
+namespace {
+
+TEST(DataSizeTest, FactoriesAndConversions) {
+  EXPECT_EQ(DataSize::bytes(1).count_bytes(), 1);
+  EXPECT_EQ(DataSize::kilobytes(2).count_bytes(), 2'000);
+  EXPECT_EQ(DataSize::megabytes(3).count_bytes(), 3'000'000);
+  EXPECT_EQ(DataSize::gigabytes(4).count_bytes(), 4'000'000'000);
+  EXPECT_EQ(DataSize::bytes(5).count_bits(), 40);
+  EXPECT_DOUBLE_EQ(DataSize::bytes(1500).to_kilobytes(), 1.5);
+}
+
+TEST(DataSizeTest, Arithmetic) {
+  const DataSize a = DataSize::kilobytes(3);
+  const DataSize b = DataSize::kilobytes(1);
+  EXPECT_EQ((a + b).count_bytes(), 4'000);
+  EXPECT_EQ((a - b).count_bytes(), 2'000);
+  EXPECT_EQ((a * 2).count_bytes(), 6'000);
+  EXPECT_EQ((a / 3).count_bytes(), 1'000);
+  EXPECT_EQ(a / b, 3);
+}
+
+TEST(DataRateTest, TransmissionTime) {
+  // 1500 bytes at 10 Gbps = 1.2 us.
+  const DataRate r = DataRate::gigabits_per_sec(10);
+  EXPECT_EQ(r.transmission_time(DataSize::bytes(1500)), Duration::nanos(1200));
+  // 1 GB at 1 Gbps = 8 s.
+  EXPECT_EQ(DataRate::gigabits_per_sec(1).transmission_time(DataSize::gigabytes(1)),
+            Duration::seconds(8));
+}
+
+TEST(DataRateTest, TransferredIn) {
+  const DataRate r = DataRate::megabits_per_sec(8);  // 1 MB/s
+  EXPECT_EQ(r.transferred_in(Duration::seconds(2)).count_bytes(), 2'000'000);
+  EXPECT_EQ(r.transferred_in(Duration::millis(1)).count_bytes(), 1'000);
+}
+
+TEST(DataRateTest, RateOf) {
+  EXPECT_EQ(rate_of(DataSize::bytes(1'000'000), Duration::seconds(1)),
+            DataRate::megabits_per_sec(8));
+  EXPECT_TRUE(rate_of(DataSize::bytes(100), Duration{}).is_zero());
+}
+
+TEST(DataRateTest, ToString) {
+  EXPECT_EQ(DataRate::gigabits_per_sec(10).to_string(), "10Gbps");
+  EXPECT_EQ(DataRate::megabits_per_sec(2).to_string(), "2Mbps");
+  EXPECT_EQ(DataSize::megabytes(1).to_string(), "1MB");
+}
+
+}  // namespace
+}  // namespace fbdcsim::core

@@ -1,0 +1,148 @@
+// Edge-case and failure-injection tests that cut across modules.
+#include <gtest/gtest.h>
+
+#include "fbdcsim/analysis/concurrency.h"
+#include "fbdcsim/analysis/heavy_hitters.h"
+#include "fbdcsim/analysis/locality.h"
+#include "fbdcsim/analysis/packet_stats.h"
+#include "fbdcsim/analysis/te_eval.h"
+#include "fbdcsim/topology/standard_fleet.h"
+#include "fbdcsim/workload/fleet_flows.h"
+#include "fbdcsim/workload/presets.h"
+
+namespace fbdcsim {
+namespace {
+
+using core::Duration;
+using core::HostRole;
+
+topology::Fleet tiny_fleet() {
+  topology::StandardFleetConfig cfg;
+  cfg.sites = 1;
+  cfg.datacenters_per_site = 1;
+  cfg.frontend_clusters = 1;
+  cfg.cache_clusters = 1;
+  cfg.hadoop_clusters = 1;
+  cfg.database_clusters = 1;
+  cfg.service_clusters = 1;
+  cfg.racks_per_cluster = 4;
+  cfg.hosts_per_rack = 2;
+  cfg.frontend_web_racks = 2;
+  cfg.frontend_cache_racks = 1;
+  cfg.frontend_multifeed_racks = 1;
+  return topology::build_standard_fleet(cfg);
+}
+
+// Analyses over empty traces must be safe no-ops, not crashes.
+TEST(EmptyTraceTest, AllAnalysesHandleEmptyInput) {
+  const topology::Fleet fleet = tiny_fleet();
+  const analysis::AddrResolver resolver{fleet};
+  const core::Ipv4Addr self = fleet.hosts()[0].addr;
+  const std::span<const core::PacketHeader> empty;
+
+  EXPECT_TRUE(analysis::FlowTable::outbound_flows(empty, self).empty());
+  EXPECT_TRUE(analysis::locality_timeseries(empty, self, resolver).empty());
+  const auto shares = analysis::locality_shares(empty, self, resolver);
+  for (const double s : shares) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_TRUE(analysis::packet_size_cdf(empty).empty());
+  EXPECT_TRUE(analysis::syn_interarrival_cdf(empty, self).empty());
+  EXPECT_TRUE(analysis::arrival_counts(empty, Duration::millis(15)).empty());
+  EXPECT_TRUE(analysis::concurrent_racks(empty, self, resolver).all.empty());
+  const auto rates = analysis::per_rack_second_rates(empty, self, resolver,
+                                                     core::TimePoint::zero(),
+                                                     Duration::seconds(1));
+  EXPECT_TRUE(rates.rack_keys.empty());
+  const auto te = analysis::evaluate_reactive_te(empty, self, resolver,
+                                                 analysis::AggLevel::kRack,
+                                                 Duration::millis(100),
+                                                 core::TimePoint::zero(), Duration::seconds(1));
+  EXPECT_EQ(te.intervals, 0);
+}
+
+// A single-site fleet has no inter-datacenter destinations: models that
+// want remote peers must degrade gracefully, not crash or spin.
+TEST(DegenerateFleetTest, SingleSiteFleetStillSimulates) {
+  const topology::Fleet fleet = tiny_fleet();
+  workload::RackSimConfig cfg = workload::default_rack_config(
+      fleet, HostRole::kCacheLeader, Duration::millis(500));
+  cfg.warmup = Duration::millis(100);
+  cfg.mix.cache_leader.coherency_msgs_per_sec = 2'000.0;
+  workload::RackSimulation sim{fleet, cfg};
+  const auto result = sim.run();
+  EXPECT_GT(result.trace.size(), 50u);
+  // No inter-DC bytes can exist.
+  const analysis::AddrResolver resolver{fleet};
+  const auto shares = analysis::locality_shares(
+      result.trace, fleet.host(cfg.monitored_host).addr, resolver);
+  EXPECT_DOUBLE_EQ(shares[static_cast<int>(core::Locality::kInterDatacenter)], 0.0);
+}
+
+// A one-host rack: no rack-local peers at all.
+TEST(DegenerateFleetTest, SingleHostRacks) {
+  topology::StandardFleetConfig cfg;
+  cfg.sites = 2;
+  cfg.datacenters_per_site = 1;
+  cfg.racks_per_cluster = 3;
+  cfg.hosts_per_rack = 1;
+  cfg.frontend_web_racks = 1;
+  cfg.frontend_cache_racks = 1;
+  cfg.frontend_multifeed_racks = 1;
+  const topology::Fleet fleet = topology::build_standard_fleet(cfg);
+
+  workload::RackSimConfig rack_cfg = workload::default_rack_config(
+      fleet, HostRole::kHadoop, Duration::millis(500));
+  rack_cfg.warmup = Duration::millis(100);
+  workload::RackSimulation sim{fleet, rack_cfg};
+  const auto result = sim.run();
+  const analysis::AddrResolver resolver{fleet};
+  const auto shares = analysis::locality_shares(
+      result.trace, fleet.host(rack_cfg.monitored_host).addr, resolver);
+  EXPECT_DOUBLE_EQ(shares[static_cast<int>(core::Locality::kIntraRack)], 0.0);
+}
+
+// Fleet generation over a horizon shorter than one epoch still works.
+TEST(FleetFlowsEdgeTest, SubEpochHorizon) {
+  const topology::Fleet fleet = tiny_fleet();
+  workload::FleetGenConfig cfg;
+  cfg.horizon = Duration::minutes(10);
+  cfg.epoch = Duration::minutes(30);  // horizon < epoch: zero epochs
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+  std::int64_t flows = 0;
+  gen.generate([&](const core::FlowRecord&) { ++flows; });
+  EXPECT_EQ(flows, 0);
+}
+
+// Flow records never escape the configured horizon.
+TEST(FleetFlowsEdgeTest, FlowsStayInsideHorizon) {
+  const topology::Fleet fleet = tiny_fleet();
+  workload::FleetGenConfig cfg;
+  cfg.horizon = Duration::hours(1);
+  cfg.epoch = Duration::minutes(20);
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+  gen.generate([&](const core::FlowRecord& f) {
+    EXPECT_GE(f.start.count_nanos(), 0);
+    EXPECT_LE(f.end().count_nanos(), cfg.horizon.count_nanos());
+  });
+}
+
+// Zero-length captures produce empty but well-formed results.
+TEST(RackSimEdgeTest, ZeroLengthCapture) {
+  const topology::Fleet fleet = tiny_fleet();
+  workload::RackSimConfig cfg =
+      workload::default_rack_config(fleet, HostRole::kWeb, Duration{});
+  cfg.warmup = Duration::millis(100);
+  workload::RackSimulation sim{fleet, cfg};
+  const auto result = sim.run();
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.capture_start, result.capture_end);
+}
+
+// Heavy-hitter helpers tolerate bins full of zero-byte entries.
+TEST(HeavyHitterEdgeTest, ZeroByteBins) {
+  std::unordered_map<std::uint64_t, double> bin{{1, 0.0}, {2, 0.0}};
+  const auto hh = analysis::heavy_hitters_of(bin);
+  EXPECT_TRUE(hh.empty());  // zero total: nothing covers anything
+}
+
+}  // namespace
+}  // namespace fbdcsim

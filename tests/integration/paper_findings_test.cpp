@@ -1,0 +1,270 @@
+// End-to-end integration tests: the paper's headline findings must emerge
+// from the full pipeline (service models -> rack switch -> port mirror ->
+// analysis), at reduced scale so the suite stays fast. Each test is one row
+// of Table 1 or one §4-§6 claim, with loose tolerances — these lock in
+// *shapes*, not golden numbers.
+#include <gtest/gtest.h>
+
+#include "fbdcsim/analysis/concurrency.h"
+#include "fbdcsim/analysis/heavy_hitters.h"
+#include "fbdcsim/analysis/locality.h"
+#include "fbdcsim/analysis/packet_stats.h"
+#include "fbdcsim/monitoring/fbflow.h"
+#include "fbdcsim/topology/standard_fleet.h"
+#include "fbdcsim/workload/baseline.h"
+#include "fbdcsim/workload/fleet_flows.h"
+#include "fbdcsim/workload/presets.h"
+
+namespace fbdcsim {
+namespace {
+
+using core::Duration;
+using core::HostRole;
+using core::Locality;
+
+/// Shared scaled-down fixture: one fleet, one capture per role, reused by
+/// every test in the suite.
+class PaperFindingsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topology::StandardFleetConfig cfg;
+    cfg.sites = 2;
+    cfg.datacenters_per_site = 1;
+    cfg.frontend_clusters = 1;
+    cfg.cache_clusters = 1;
+    cfg.hadoop_clusters = 1;
+    cfg.database_clusters = 1;
+    cfg.service_clusters = 1;
+    cfg.racks_per_cluster = 48;
+    cfg.hosts_per_rack = 8;
+    cfg.frontend_web_racks = 36;
+    cfg.frontend_cache_racks = 9;
+    cfg.frontend_multifeed_racks = 2;
+    fleet_ = new topology::Fleet{topology::build_standard_fleet(cfg)};
+    resolver_ = new analysis::AddrResolver{*fleet_};
+  }
+
+  static void TearDownTestSuite() {
+    delete resolver_;
+    delete fleet_;
+    resolver_ = nullptr;
+    fleet_ = nullptr;
+  }
+
+  static workload::RackSimResult capture(HostRole role, double seconds,
+                                         bool pooling = true) {
+    workload::RackSimConfig cfg = workload::default_rack_config(
+        *fleet_, role, Duration::from_seconds(seconds));
+    cfg.warmup = Duration::millis(500);
+    cfg.background_rate_scale = 0.05;
+    // Reduced rates keep the suite quick; ratios preserved. Hadoop phases
+    // are shortened so short captures see both phases.
+    cfg.mix.cache_follower.gets_served_per_sec = 20'000.0;
+    cfg.mix.cache_leader.coherency_msgs_per_sec = 10'000.0;
+    cfg.mix.web.user_requests_per_sec = 120.0;
+    cfg.mix.hadoop.quiet_period_mean = Duration::millis(600);
+    cfg.mix.hadoop.busy_period_mean = Duration::seconds(3);
+    cfg.mix.connection_pooling_enabled = pooling;
+    workload::RackSimulation sim{*fleet_, cfg};
+    return sim.run();
+  }
+
+  static core::Ipv4Addr addr_of(HostRole role) {
+    return fleet_->host(workload::monitored_host(*fleet_, role)).addr;
+  }
+
+  static topology::Fleet* fleet_;
+  static analysis::AddrResolver* resolver_;
+};
+
+topology::Fleet* PaperFindingsTest::fleet_ = nullptr;
+analysis::AddrResolver* PaperFindingsTest::resolver_ = nullptr;
+
+// Table 1 row 1 / §4: traffic is neither rack-local nor all-to-all.
+TEST_F(PaperFindingsTest, FrontendTrafficIsNeitherRackLocalNorAllToAll) {
+  const auto result = capture(HostRole::kCacheFollower, 3.0);
+  const auto shares =
+      analysis::locality_shares(result.trace, addr_of(HostRole::kCacheFollower), *resolver_);
+  // Not rack-local (literature: 50-80% rack-local).
+  EXPECT_LT(shares[static_cast<int>(Locality::kIntraRack)], 5.0);
+  // Not all-to-all either: the cluster dominates.
+  EXPECT_GT(shares[static_cast<int>(Locality::kIntraCluster)], 50.0);
+}
+
+TEST_F(PaperFindingsTest, HadoopIsRackAndClusterLocal) {
+  const auto result = capture(HostRole::kHadoop, 3.0);
+  const auto shares =
+      analysis::locality_shares(result.trace, addr_of(HostRole::kHadoop), *resolver_);
+  EXPECT_GT(shares[static_cast<int>(Locality::kIntraRack)], 40.0);
+  EXPECT_GT(shares[static_cast<int>(Locality::kIntraRack)] +
+                shares[static_cast<int>(Locality::kIntraCluster)],
+            97.0);
+}
+
+TEST_F(PaperFindingsTest, CacheLeaderCrossesDatacenters) {
+  const auto result = capture(HostRole::kCacheLeader, 3.0);
+  const auto shares =
+      analysis::locality_shares(result.trace, addr_of(HostRole::kCacheLeader), *resolver_);
+  EXPECT_GT(shares[static_cast<int>(Locality::kIntraDatacenter)] +
+                shares[static_cast<int>(Locality::kInterDatacenter)],
+            60.0);
+}
+
+// Table 1 row 3 / §6.1: small packets outside Hadoop; Hadoop bimodal.
+TEST_F(PaperFindingsTest, MedianPacketSmallForCache) {
+  const auto result = capture(HostRole::kCacheFollower, 2.0);
+  EXPECT_LT(analysis::packet_size_cdf(result.trace).median(), 300.0);
+}
+
+TEST_F(PaperFindingsTest, HadoopPacketsBimodal) {
+  const auto result = capture(HostRole::kHadoop, 3.0);
+  const auto cdf = analysis::packet_size_cdf(result.trace);
+  // Both modes present and dominant.
+  const double ack_frac = cdf.fraction_at_or_below(64.0);
+  const double below_mtu = cdf.fraction_at_or_below(1500.0);
+  EXPECT_GT(ack_frac, 0.15);
+  EXPECT_GT(1.0 - below_mtu + ack_frac, 0.7);
+}
+
+// §6.2: arrivals are continuous, not ON/OFF — unlike the literature model.
+TEST_F(PaperFindingsTest, ArrivalsAreNotOnOff) {
+  const auto result = capture(HostRole::kHadoop, 3.0);
+  const double fb_idle = analysis::idle_bin_fraction(result.trace, Duration::millis(15));
+  EXPECT_LT(fb_idle, 0.10);
+
+  workload::LiteratureWorkloadConfig lit_cfg;
+  lit_cfg.off_period_median_ms = 20.0;  // clearly ON/OFF at the 15-ms scale
+  const auto lit = workload::generate_literature_trace(
+      *fleet_, workload::monitored_host(*fleet_, HostRole::kHadoop), Duration::seconds(3),
+      lit_cfg);
+  const double lit_idle = analysis::idle_bin_fraction(lit, Duration::millis(15));
+  EXPECT_GT(lit_idle, 0.3);
+  EXPECT_GT(lit_idle, 5.0 * fb_idle);
+}
+
+// §5.3 / Table 1 row 2: 5-tuple heavy hitters are unstable; rack-level
+// aggregation is the only (moderately) stable one.
+TEST_F(PaperFindingsTest, HeavyHitterStabilityGrowsWithAggregation) {
+  const auto result = capture(HostRole::kCacheFollower, 3.0);
+  const auto span = result.capture_end - result.capture_start;
+  const core::Ipv4Addr self = addr_of(HostRole::kCacheFollower);
+
+  auto median_persistence = [&](analysis::AggLevel level) {
+    const auto binned = analysis::bin_outbound(result.trace, self, *resolver_, level,
+                                               Duration::millis(100),
+                                               result.capture_start, span);
+    core::Cdf cdf;
+    cdf.add_all(analysis::hh_persistence(binned));
+    return cdf.median();
+  };
+  const double flow_p = median_persistence(analysis::AggLevel::kFlow);
+  const double rack_p = median_persistence(analysis::AggLevel::kRack);
+  EXPECT_LT(flow_p, 40.0);
+  EXPECT_GT(rack_p, flow_p);
+}
+
+// §6.4: many concurrent destinations for cache; few for Hadoop.
+TEST_F(PaperFindingsTest, ConcurrencyContrast) {
+  const auto cache = capture(HostRole::kCacheFollower, 2.0);
+  const auto cache_conc =
+      analysis::concurrent_connections(cache.trace, addr_of(HostRole::kCacheFollower));
+  EXPECT_GT(cache_conc.tuples.median(), 60.0);
+
+  const auto hadoop = capture(HostRole::kHadoop, 2.0);
+  const auto hadoop_conc =
+      analysis::concurrent_connections(hadoop.trace, addr_of(HostRole::kHadoop));
+  EXPECT_LT(hadoop_conc.tuples.median(), 50.0);
+  EXPECT_GT(hadoop_conc.tuples.median(), 5.0);
+}
+
+// §5.1: connection pooling is why flows are long-lived; ablation inverts it.
+TEST_F(PaperFindingsTest, PoolingMakesFlowsLongLived) {
+  const core::Ipv4Addr self = addr_of(HostRole::kWeb);
+  const auto pooled = capture(HostRole::kWeb, 2.0, /*pooling=*/true);
+  const auto unpooled = capture(HostRole::kWeb, 2.0, /*pooling=*/false);
+
+  auto syn_count = [&](const workload::RackSimResult& r) {
+    std::int64_t syns = 0;
+    for (const auto& pkt : r.trace) {
+      if (pkt.tuple.src_ip == self && pkt.flags.syn && !pkt.flags.ack) ++syns;
+    }
+    return syns;
+  };
+  EXPECT_GT(syn_count(unpooled), 5 * syn_count(pooled));
+}
+
+// Table 2's structure: each service's bytes go where the paper says.
+TEST_F(PaperFindingsTest, Table2Structure) {
+  const auto web = capture(HostRole::kWeb, 2.0);
+  const auto web_shares =
+      analysis::outbound_role_shares(web.trace, addr_of(HostRole::kWeb), *resolver_);
+  double cache_pct = 0;
+  for (const auto& s : web_shares) {
+    if (s.role == HostRole::kCacheFollower) cache_pct = s.percent;
+  }
+  EXPECT_GT(cache_pct, 45.0);  // paper: 63.1
+
+  const auto hadoop = capture(HostRole::kHadoop, 2.0);
+  const auto h_shares =
+      analysis::outbound_role_shares(hadoop.trace, addr_of(HostRole::kHadoop), *resolver_);
+  double hadoop_pct = 0;
+  for (const auto& s : h_shares) {
+    if (s.role == HostRole::kHadoop) hadoop_pct = s.percent;
+  }
+  EXPECT_GT(hadoop_pct, 99.0);  // paper: 99.8
+}
+
+// Fbflow end-to-end: fleet flows -> sampling -> Table 3's key orderings.
+TEST_F(PaperFindingsTest, FbflowLocalityOrderings) {
+  workload::FleetGenConfig cfg;
+  cfg.horizon = Duration::hours(1);
+  cfg.epoch = Duration::minutes(30);
+  cfg.rate_scale = 0.01;  // shares are scale-free; bounds sample volume
+  cfg.seed = 3;
+  const workload::FleetFlowGenerator gen{*fleet_, cfg};
+  monitoring::FbflowPipeline fbflow{*fleet_, 1'000, core::RngStream{8}};
+  gen.generate([&](const core::FlowRecord& f) { fbflow.offer_flow(f); });
+  ASSERT_GT(fbflow.scuba().size(), 1000u);
+
+  const auto fe = fbflow.scuba()
+                      .locality_bytes_for_cluster_type(*fleet_, topology::ClusterType::kFrontend,
+                                                       1'000)
+                      .percentages();
+  EXPECT_GT(fe[static_cast<int>(Locality::kIntraCluster)], 60.0);
+  EXPECT_LT(fe[static_cast<int>(Locality::kIntraRack)], 15.0);
+
+  const auto cache = fbflow.scuba()
+                         .locality_bytes_for_cluster_type(*fleet_, topology::ClusterType::kCache,
+                                                          1'000)
+                         .percentages();
+  EXPECT_LT(cache[static_cast<int>(Locality::kIntraRack)], 5.0);
+  EXPECT_GT(cache[static_cast<int>(Locality::kIntraDatacenter)] +
+                cache[static_cast<int>(Locality::kInterDatacenter)],
+            60.0);
+
+  const auto hadoop = fbflow.scuba()
+                          .locality_bytes_for_cluster_type(*fleet_,
+                                                           topology::ClusterType::kHadoop, 1'000)
+                          .percentages();
+  EXPECT_GT(hadoop[static_cast<int>(Locality::kIntraRack)] +
+                hadoop[static_cast<int>(Locality::kIntraCluster)],
+            90.0);
+}
+
+// Capture-buffer failure injection: an undersized collection host loses
+// packets and reports it (the paper sized pinned RAM to avoid this).
+TEST_F(PaperFindingsTest, UndersizedCaptureHostReportsLoss) {
+  workload::RackSimConfig cfg = workload::default_rack_config(
+      *fleet_, HostRole::kCacheFollower, Duration::seconds(1));
+  cfg.warmup = Duration::millis(200);
+  cfg.background_rate_scale = 0.05;
+  cfg.mix.cache_follower.gets_served_per_sec = 20'000.0;
+  cfg.capture_memory_bytes = 1000 * monitoring::CaptureBuffer::kRecordBytes;
+  workload::RackSimulation sim{*fleet_, cfg};
+  const auto result = sim.run();
+  EXPECT_EQ(result.trace.size(), 1000u);
+  EXPECT_GT(result.capture_dropped, 0);
+}
+
+}  // namespace
+}  // namespace fbdcsim

@@ -1,0 +1,72 @@
+#include "fbdcsim/monitoring/capture.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdcsim::monitoring {
+namespace {
+
+core::PacketHeader packet_between(core::Ipv4Addr src, core::Ipv4Addr dst) {
+  core::PacketHeader pkt;
+  pkt.tuple = core::FiveTuple{src, dst, 40000, 80, core::Protocol::kTcp};
+  pkt.frame_bytes = 200;
+  return pkt;
+}
+
+TEST(CaptureBufferTest, RecordsUpToCapacity) {
+  CaptureBuffer buf{3 * CaptureBuffer::kRecordBytes};
+  EXPECT_EQ(buf.capacity_records(), 3);
+  core::PacketHeader pkt;
+  EXPECT_TRUE(buf.record(pkt));
+  EXPECT_TRUE(buf.record(pkt));
+  EXPECT_TRUE(buf.record(pkt));
+  EXPECT_FALSE(buf.record(pkt));
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.dropped(), 1);
+}
+
+TEST(CaptureBufferTest, SpoolHandsOffAndClears) {
+  CaptureBuffer buf;
+  core::PacketHeader pkt;
+  pkt.frame_bytes = 777;
+  EXPECT_TRUE(buf.record(pkt));
+  const auto trace = buf.spool();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].frame_bytes, 777);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(CaptureBufferTest, TinyLimitStillHoldsOneRecord) {
+  CaptureBuffer buf{1};
+  core::PacketHeader pkt;
+  EXPECT_TRUE(buf.record(pkt));
+  EXPECT_FALSE(buf.record(pkt));
+}
+
+TEST(PortMirrorTest, MirrorsBothDirections) {
+  const core::Ipv4Addr monitored{10, 0, 0, 1};
+  const core::Ipv4Addr other{10, 0, 0, 2};
+  const core::Ipv4Addr third{10, 0, 0, 3};
+  CaptureBuffer buf;
+  PortMirror mirror{{monitored}, buf};
+
+  mirror.observe(packet_between(monitored, other));  // outbound
+  mirror.observe(packet_between(other, monitored));  // inbound
+  mirror.observe(packet_between(other, third));      // unrelated
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(PortMirrorTest, WholeRackMirroring) {
+  const core::Ipv4Addr a{10, 0, 0, 1};
+  const core::Ipv4Addr b{10, 0, 0, 2};
+  const core::Ipv4Addr c{10, 0, 0, 3};
+  CaptureBuffer buf;
+  PortMirror mirror{{a, b}, buf};
+  mirror.observe(packet_between(a, c));
+  mirror.observe(packet_between(c, b));
+  mirror.observe(packet_between(a, b));  // intra-rack: recorded once
+  mirror.observe(packet_between(c, c));
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fbdcsim::monitoring

@@ -1,0 +1,215 @@
+#include "fbdcsim/monitoring/fbflow.h"
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::monitoring {
+namespace {
+
+using core::DataSize;
+using core::Duration;
+using core::TimePoint;
+
+topology::Fleet small_fleet() {
+  topology::StandardFleetConfig cfg;
+  cfg.sites = 2;
+  cfg.datacenters_per_site = 1;
+  cfg.frontend_clusters = 1;
+  cfg.cache_clusters = 1;
+  cfg.hadoop_clusters = 1;
+  cfg.database_clusters = 1;
+  cfg.service_clusters = 1;
+  cfg.racks_per_cluster = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.frontend_web_racks = 2;
+  cfg.frontend_cache_racks = 1;
+  cfg.frontend_multifeed_racks = 1;
+  return topology::build_standard_fleet(cfg);
+}
+
+core::FlowRecord flow_between(const topology::Fleet& fleet, core::HostId src, core::HostId dst,
+                              std::int64_t bytes, std::int64_t packets) {
+  core::FlowRecord f;
+  f.tuple = core::FiveTuple{fleet.host(src).addr, fleet.host(dst).addr, 40000, 80,
+                            core::Protocol::kTcp};
+  f.src_host = src;
+  f.dst_host = dst;
+  f.start = TimePoint::zero();
+  f.duration = Duration::seconds(10);
+  f.bytes = DataSize::bytes(bytes);
+  f.packets = packets;
+  return f;
+}
+
+TEST(PacketSamplerTest, SelectsOneInN) {
+  core::RngStream rng{3};
+  PacketSampler sampler{100, rng};
+  std::int64_t selected = 0;
+  const std::int64_t n = 1'000'000;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (sampler.sample()) ++selected;
+  }
+  EXPECT_NEAR(static_cast<double>(selected), 10'000.0, 5.0);  // counting sampler is exact
+}
+
+TEST(PacketSamplerTest, RateOneSelectsEverything) {
+  core::RngStream rng{3};
+  PacketSampler sampler{1, rng};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sampler.sample());
+}
+
+TEST(AnalyticSamplerTest, ExpectationMatchesRate) {
+  const topology::Fleet fleet = small_fleet();
+  AnalyticSampler sampler{1000, core::RngStream{5}};
+  std::int64_t selected = 0;
+  // 2000 flows x 5000 packets = 10M packets; expect ~10k samples.
+  const auto flow = flow_between(fleet, core::HostId{0}, core::HostId{5}, 5'000'000, 5'000);
+  for (int i = 0; i < 2000; ++i) {
+    sampler.sample_flow(flow, [&](const SampledPacket&) { ++selected; });
+  }
+  EXPECT_NEAR(static_cast<double>(selected), 10'000.0, 400.0);
+}
+
+TEST(AnalyticSamplerTest, SampleTimestampsWithinFlow) {
+  const topology::Fleet fleet = small_fleet();
+  AnalyticSampler sampler{10, core::RngStream{5}};
+  auto flow = flow_between(fleet, core::HostId{0}, core::HostId{5}, 100'000, 1'000);
+  flow.start = TimePoint::from_seconds(5.0);
+  flow.duration = Duration::seconds(2);
+  sampler.sample_flow(flow, [&](const SampledPacket& s) {
+    EXPECT_GE(s.captured_at, flow.start);
+    EXPECT_LE(s.captured_at, flow.end());
+    EXPECT_EQ(s.tuple, flow.tuple);
+  });
+}
+
+TEST(AnalyticSamplerTest, ZeroPacketFlowIsIgnored) {
+  const topology::Fleet fleet = small_fleet();
+  AnalyticSampler sampler{10, core::RngStream{5}};
+  auto flow = flow_between(fleet, core::HostId{0}, core::HostId{5}, 0, 0);
+  sampler.sample_flow(flow, [&](const SampledPacket&) { FAIL(); });
+}
+
+TEST(TaggerTest, AnnotatesTopologyMetadata) {
+  const topology::Fleet fleet = small_fleet();
+  const Tagger tagger{fleet};
+  const core::HostId src{0};
+  const core::HostId dst{5};
+
+  SampledPacket s;
+  s.captured_at = TimePoint::from_seconds(90.0);
+  s.tuple = core::FiveTuple{fleet.host(src).addr, fleet.host(dst).addr, 40000, 80,
+                            core::Protocol::kTcp};
+  s.frame_bytes = 1000;
+  s.reporter = src;
+
+  TaggedSample tagged;
+  ASSERT_TRUE(tagger.tag(s, tagged));
+  EXPECT_EQ(tagged.src_host, src);
+  EXPECT_EQ(tagged.dst_host, dst);
+  EXPECT_EQ(tagged.src_rack, fleet.host(src).rack);
+  EXPECT_EQ(tagged.dst_cluster, fleet.host(dst).cluster);
+  EXPECT_EQ(tagged.locality, fleet.locality(src, dst));
+  EXPECT_EQ(tagged.minute, 1);
+}
+
+TEST(TaggerTest, RejectsUnknownAddresses) {
+  const topology::Fleet fleet = small_fleet();
+  const Tagger tagger{fleet};
+  SampledPacket s;
+  s.tuple = core::FiveTuple{core::Ipv4Addr{192, 168, 0, 1}, fleet.hosts()[0].addr, 1, 2,
+                            core::Protocol::kTcp};
+  TaggedSample tagged;
+  EXPECT_FALSE(tagger.tag(s, tagged));
+}
+
+TEST(ScribeBusTest, FanOutToSubscribers) {
+  ScribeBus bus;
+  int a = 0, b = 0;
+  bus.subscribe([&](const SampledPacket&) { ++a; });
+  bus.subscribe([&](const SampledPacket&) { ++b; });
+  bus.publish(SampledPacket{});
+  bus.publish(SampledPacket{});
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(bus.published(), 2);
+}
+
+TEST(ScubaTableTest, LocalityBytesScaledBySamplingRate) {
+  const topology::Fleet fleet = small_fleet();
+  const Tagger tagger{fleet};
+  ScubaTable table;
+
+  // One intra-rack sample (hosts 0,1) and one inter-DC (0, last host).
+  auto make = [&](core::HostId src, core::HostId dst, std::int64_t bytes) {
+    SampledPacket s;
+    s.tuple = core::FiveTuple{fleet.host(src).addr, fleet.host(dst).addr, 40000, 80,
+                              core::Protocol::kTcp};
+    s.frame_bytes = bytes;
+    TaggedSample tagged;
+    EXPECT_TRUE(tagger.tag(s, tagged));
+    table.add(tagged);
+  };
+  make(core::HostId{0}, core::HostId{1}, 100);
+  make(core::HostId{0}, fleet.hosts().back().id, 300);
+
+  const auto bytes = table.locality_bytes(30'000);
+  EXPECT_DOUBLE_EQ(bytes.bytes[static_cast<int>(core::Locality::kIntraRack)], 100.0 * 30'000);
+  EXPECT_DOUBLE_EQ(bytes.bytes[static_cast<int>(core::Locality::kInterDatacenter)],
+                   300.0 * 30'000);
+  const auto pct = bytes.percentages();
+  EXPECT_NEAR(pct[static_cast<int>(core::Locality::kIntraRack)], 25.0, 1e-9);
+  EXPECT_NEAR(pct[static_cast<int>(core::Locality::kInterDatacenter)], 75.0, 1e-9);
+}
+
+TEST(ScubaTableTest, RackMatrixPlacesBytes) {
+  const topology::Fleet fleet = small_fleet();
+  const Tagger tagger{fleet};
+  ScubaTable table;
+
+  // Frontend cluster is cluster 0 with 4 racks of 4 hosts.
+  const auto& cluster = fleet.cluster(core::ClusterId{0});
+  const core::HostId a = fleet.rack(cluster.racks[0]).hosts[0];
+  const core::HostId b = fleet.rack(cluster.racks[2]).hosts[1];
+  SampledPacket s;
+  s.tuple = core::FiveTuple{fleet.host(a).addr, fleet.host(b).addr, 40000, 80,
+                            core::Protocol::kTcp};
+  s.frame_bytes = 10;
+  TaggedSample tagged;
+  ASSERT_TRUE(tagger.tag(s, tagged));
+  table.add(tagged);
+
+  const auto m = table.rack_matrix(fleet, core::ClusterId{0}, 100);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0][2], 1000.0);
+  EXPECT_DOUBLE_EQ(m[2][0], 0.0);
+}
+
+TEST(FbflowPipelineTest, FlowModeEndToEnd) {
+  const topology::Fleet fleet = small_fleet();
+  FbflowPipeline pipeline{fleet, 100, core::RngStream{7}};
+  // A hefty intra-cluster flow: expect ~1000 samples at 1:100.
+  const auto flow = flow_between(fleet, core::HostId{0}, core::HostId{5}, 100'000'000, 100'000);
+  pipeline.offer_flow(flow);
+  EXPECT_NEAR(static_cast<double>(pipeline.scuba().size()), 1000.0, 150.0);
+  EXPECT_EQ(pipeline.tag_failures(), 0);
+  // Estimated bytes should be near the true flow bytes.
+  const auto bytes = pipeline.scuba().locality_bytes(pipeline.sampling_rate());
+  EXPECT_NEAR(bytes.total(), 100'000'000.0 * core::wire::tcp_frame_bytes(1000) / 1000.0,
+              2.5e7);
+}
+
+TEST(FbflowPipelineTest, PacketModeSamples) {
+  const topology::Fleet fleet = small_fleet();
+  FbflowPipeline pipeline{fleet, 10, core::RngStream{7}};
+  core::PacketHeader pkt;
+  pkt.tuple = core::FiveTuple{fleet.hosts()[0].addr, fleet.hosts()[5].addr, 40000, 80,
+                              core::Protocol::kTcp};
+  pkt.frame_bytes = 100;
+  for (int i = 0; i < 10'000; ++i) pipeline.offer_packet(core::HostId{0}, pkt);
+  EXPECT_NEAR(static_cast<double>(pipeline.scuba().size()), 1000.0, 10.0);
+}
+
+}  // namespace
+}  // namespace fbdcsim::monitoring

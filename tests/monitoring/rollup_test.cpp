@@ -1,0 +1,76 @@
+#include "fbdcsim/monitoring/rollup.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdcsim::monitoring {
+namespace {
+
+TaggedSample sample_at(std::int64_t minute, std::uint32_t src_cluster,
+                       std::uint32_t dst_cluster, std::int64_t frame_bytes,
+                       core::Locality locality = core::Locality::kIntraCluster) {
+  TaggedSample s;
+  s.minute = minute;
+  s.src_cluster = core::ClusterId{src_cluster};
+  s.dst_cluster = core::ClusterId{dst_cluster};
+  s.sample.frame_bytes = frame_bytes;
+  s.locality = locality;
+  return s;
+}
+
+TEST(HiveRollupTest, AggregatesByDay) {
+  HiveRollup rollup{3, 100};
+  rollup.add(sample_at(10, 0, 1, 50));               // day 0
+  rollup.add(sample_at(23 * 60, 0, 1, 50));          // day 0
+  rollup.add(sample_at(24 * 60 + 5, 0, 1, 50));      // day 1
+  EXPECT_EQ(rollup.num_days(), 2);
+
+  const auto day0 = rollup.cluster_matrix(0);
+  EXPECT_DOUBLE_EQ(day0[0 * 3 + 1], 100.0 * 100);  // 2 samples x 50 B x rate
+  const auto day1 = rollup.cluster_matrix(1);
+  EXPECT_DOUBLE_EQ(day1[0 * 3 + 1], 50.0 * 100);
+}
+
+TEST(HiveRollupTest, LocalityVectorPerDay) {
+  HiveRollup rollup{2, 10};
+  rollup.add(sample_at(0, 0, 0, 30, core::Locality::kIntraRack));
+  rollup.add(sample_at(1, 0, 1, 70, core::Locality::kInterDatacenter));
+  const auto vec = rollup.locality_vector(0);
+  EXPECT_DOUBLE_EQ(vec[static_cast<int>(core::Locality::kIntraRack)], 300.0);
+  EXPECT_DOUBLE_EQ(vec[static_cast<int>(core::Locality::kInterDatacenter)], 700.0);
+}
+
+TEST(HiveRollupTest, MissingDayIsZeros) {
+  HiveRollup rollup{2, 10};
+  rollup.add(sample_at(0, 0, 1, 10));
+  const auto m = rollup.cluster_matrix(7);
+  for (const double v : m) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(rollup.day_similarity(0, 7), 0.0);
+}
+
+TEST(HiveRollupTest, IdenticalDaysHaveSimilarityOne) {
+  HiveRollup rollup{4, 1};
+  for (int day = 0; day < 2; ++day) {
+    rollup.add(sample_at(day * 24 * 60, 0, 1, 100));
+    rollup.add(sample_at(day * 24 * 60 + 1, 2, 3, 400));
+  }
+  EXPECT_NEAR(rollup.day_similarity(0, 1), 1.0, 1e-12);
+}
+
+TEST(HiveRollupTest, OrthogonalDaysHaveSimilarityZero) {
+  HiveRollup rollup{4, 1};
+  rollup.add(sample_at(0, 0, 1, 100));            // day 0: cell (0,1)
+  rollup.add(sample_at(24 * 60, 2, 3, 100));      // day 1: cell (2,3)
+  EXPECT_NEAR(rollup.day_similarity(0, 1), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, Basics) {
+  EXPECT_NEAR(cosine_similarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity({1, 1}, {2, 2}), 1.0, 1e-12);  // scale-invariant
+  EXPECT_DOUBLE_EQ(cosine_similarity({1, 0}, {1, 0, 0}), 0.0);  // size mismatch
+  EXPECT_DOUBLE_EQ(cosine_similarity({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity({0, 0}, {1, 1}), 0.0);  // zero vector
+}
+
+}  // namespace
+}  // namespace fbdcsim::monitoring

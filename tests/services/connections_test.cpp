@@ -1,0 +1,168 @@
+#include "fbdcsim/services/connections.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::services {
+namespace {
+
+using core::DataSize;
+using core::Duration;
+using core::TimePoint;
+
+/// Records everything a model emits.
+class RecordingSink : public TrafficSink {
+ public:
+  void host_send(const SimPacket& pkt) override { sent.push_back(pkt); }
+  void host_receive(const SimPacket& pkt) override { received.push_back(pkt); }
+
+  std::vector<SimPacket> sent;
+  std::vector<SimPacket> received;
+};
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest()
+      : fleet_{topology::build_single_cluster_fleet(topology::ClusterType::kHadoop, 2, 4)},
+        self_{fleet_.hosts().front().id},
+        peer_{fleet_.hosts().back().id},
+        table_{fleet_, self_},
+        wire_{sim_, sink_, self_} {}
+
+  topology::Fleet fleet_;
+  core::HostId self_;
+  core::HostId peer_;
+  ConnectionTable table_;
+  sim::Simulator sim_;
+  RecordingSink sink_;
+  Wire wire_;
+};
+
+TEST_F(WireTest, PooledConnectionIsStable) {
+  Connection& a = table_.pooled(peer_, 80);
+  Connection& b = table_.pooled(peer_, 80);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.tuple, b.tuple);
+  EXPECT_TRUE(a.pooled);
+}
+
+TEST_F(WireTest, PooledTupleOrientationIsSelfToPeer) {
+  const Connection& c = table_.pooled(peer_, 80);
+  EXPECT_EQ(c.tuple.src_ip, fleet_.host(self_).addr);
+  EXPECT_EQ(c.tuple.dst_ip, fleet_.host(peer_).addr);
+  EXPECT_EQ(c.tuple.dst_port, 80);
+  EXPECT_GE(c.tuple.src_port, core::ports::kEphemeralBase);
+}
+
+TEST_F(WireTest, EphemeralConnectionsGetFreshPorts) {
+  const Connection a = table_.ephemeral(peer_, 80);
+  const Connection b = table_.ephemeral(peer_, 80);
+  EXPECT_NE(a.tuple.src_port, b.tuple.src_port);
+  EXPECT_FALSE(a.pooled);
+}
+
+TEST_F(WireTest, InboundConnectionKeepsSelfToPeerOrientation) {
+  const Connection c = table_.ephemeral_inbound(peer_, 11211);
+  EXPECT_EQ(c.tuple.src_ip, fleet_.host(self_).addr);
+  EXPECT_EQ(c.tuple.src_port, 11211);  // well-known port on self side
+  Connection& p = table_.pooled_inbound(peer_, 11211);
+  EXPECT_EQ(p.tuple.src_ip, fleet_.host(self_).addr);
+  EXPECT_EQ(p.tuple.src_port, 11211);
+  EXPECT_EQ(&p, &table_.pooled_inbound(peer_, 11211));
+}
+
+TEST_F(WireTest, SendSegmentsAtMss) {
+  const Connection& c = table_.pooled(peer_, 80);
+  wire_.send(c, DataSize::bytes(3000), TimePoint::zero(), Duration::micros(1),
+             /*ack_inbound=*/false);
+  sim_.run();
+  // 3000 B = 1460 + 1460 + 80.
+  ASSERT_EQ(sink_.sent.size(), 3u);
+  EXPECT_EQ(sink_.sent[0].header.payload_bytes, 1460);
+  EXPECT_EQ(sink_.sent[1].header.payload_bytes, 1460);
+  EXPECT_EQ(sink_.sent[2].header.payload_bytes, 80);
+  EXPECT_FALSE(sink_.sent[0].header.flags.psh);
+  EXPECT_TRUE(sink_.sent[2].header.flags.psh);
+  // Byte conservation.
+  std::int64_t total = 0;
+  for (const auto& p : sink_.sent) total += p.header.payload_bytes;
+  EXPECT_EQ(total, 3000);
+}
+
+TEST_F(WireTest, SendSynthesizesDelayedAcks) {
+  const Connection& c = table_.pooled(peer_, 80);
+  wire_.send(c, DataSize::bytes(4 * 1460), TimePoint::zero());
+  sim_.run();
+  EXPECT_EQ(sink_.sent.size(), 4u);
+  // Delayed ACK: one per two segments.
+  ASSERT_EQ(sink_.received.size(), 2u);
+  for (const auto& ack : sink_.received) {
+    EXPECT_EQ(ack.header.payload_bytes, 0);
+    EXPECT_TRUE(ack.header.flags.ack);
+    EXPECT_EQ(ack.header.tuple, c.tuple.reversed());
+    EXPECT_EQ(ack.header.frame_bytes, core::wire::kMinFrameBytes);
+  }
+}
+
+TEST_F(WireTest, ReceiveAckSuppression) {
+  const Connection& c = table_.pooled(peer_, 80);
+  wire_.receive(c, DataSize::bytes(500), TimePoint::zero(), Duration::micros(1),
+                /*ack_outbound=*/false);
+  sim_.run();
+  EXPECT_EQ(sink_.received.size(), 1u);
+  EXPECT_TRUE(sink_.sent.empty());  // no standalone ACK
+}
+
+TEST_F(WireTest, OpenEmitsHandshake) {
+  const Connection c = table_.ephemeral(peer_, 80);
+  const TimePoint done = wire_.open(c, TimePoint::zero(), Duration::micros(100));
+  sim_.run();
+  EXPECT_EQ(done, TimePoint::from_nanos(100'000));
+  ASSERT_EQ(sink_.sent.size(), 2u);      // SYN + final ACK
+  ASSERT_EQ(sink_.received.size(), 1u);  // SYN-ACK
+  EXPECT_TRUE(sink_.sent[0].header.flags.syn);
+  EXPECT_FALSE(sink_.sent[0].header.flags.ack);
+  EXPECT_TRUE(sink_.received[0].header.flags.syn);
+  EXPECT_TRUE(sink_.received[0].header.flags.ack);
+  EXPECT_FALSE(sink_.sent[1].header.flags.syn);
+}
+
+TEST_F(WireTest, OpenInboundSynComesFromPeer) {
+  const Connection c = table_.ephemeral_inbound(peer_, 11211);
+  wire_.open_inbound(c, TimePoint::zero());
+  sim_.run();
+  ASSERT_EQ(sink_.received.size(), 2u);  // SYN + final ACK from peer
+  EXPECT_TRUE(sink_.received[0].header.flags.syn);
+  EXPECT_FALSE(sink_.received[0].header.flags.ack);
+  EXPECT_EQ(sink_.received[0].header.tuple.src_ip, fleet_.host(peer_).addr);
+  ASSERT_EQ(sink_.sent.size(), 1u);  // SYN-ACK from self
+  EXPECT_TRUE(sink_.sent[0].header.flags.syn);
+  EXPECT_TRUE(sink_.sent[0].header.flags.ack);
+}
+
+TEST_F(WireTest, CloseEmitsFinExchange) {
+  const Connection c = table_.ephemeral(peer_, 80);
+  wire_.close(c, TimePoint::zero());
+  sim_.run();
+  ASSERT_EQ(sink_.sent.size(), 2u);
+  ASSERT_EQ(sink_.received.size(), 1u);
+  EXPECT_TRUE(sink_.sent[0].header.flags.fin);
+  EXPECT_TRUE(sink_.received[0].header.flags.fin);
+}
+
+TEST_F(WireTest, TimestampsMatchSimClock) {
+  const Connection& c = table_.pooled(peer_, 80);
+  wire_.send(c, DataSize::bytes(2 * 1460), TimePoint::from_seconds(1.0),
+             Duration::micros(5), false);
+  sim_.run();
+  ASSERT_EQ(sink_.sent.size(), 2u);
+  EXPECT_EQ(sink_.sent[0].header.timestamp, TimePoint::from_seconds(1.0));
+  EXPECT_EQ(sink_.sent[1].header.timestamp,
+            TimePoint::from_seconds(1.0) + Duration::micros(5));
+}
+
+}  // namespace
+}  // namespace fbdcsim::services

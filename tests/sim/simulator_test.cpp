@@ -1,0 +1,124 @@
+#include "fbdcsim/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbdcsim::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_seconds(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::from_seconds(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(3.0));
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint fired;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] {
+    sim.schedule_after(Duration::seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::from_seconds(3.0));
+}
+
+TEST(SimulatorTest, CannotScheduleInPast) {
+  Simulator sim;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::from_seconds(0.5), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++fired; });
+  sim.schedule_at(TimePoint::from_seconds(5.0), [&] { ++fired; });
+  sim.run_until(TimePoint::from_seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::from_seconds(2.0));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(TimePoint::from_seconds(10.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtHorizonFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(TimePoint::from_seconds(2.0), [&] { fired = true; });
+  sim.run_until(TimePoint::from_seconds(2.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, ClearDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++fired; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ExecutedEventsCount) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.schedule_at(TimePoint::from_seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 17u);
+}
+
+TEST(SimulatorTest, CascadingEvents) {
+  // An event chain: each event schedules the next until a bound.
+  Simulator sim;
+  int count = 0;
+  std::function<void()> step = [&] {
+    if (++count < 100) sim.schedule_after(Duration::millis(1), step);
+  };
+  sim.schedule_at(TimePoint::zero(), step);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), TimePoint::from_nanos(99'000'000));
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer{sim, Duration::millis(10), [&](TimePoint t) { fires.push_back(t); }};
+  sim.run_until(TimePoint::from_nanos(35'000'000));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], TimePoint::from_nanos(10'000'000));
+  EXPECT_EQ(fires[2], TimePoint::from_nanos(30'000'000));
+}
+
+TEST(PeriodicTimerTest, CancelStopsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer{sim, Duration::millis(10), [&](TimePoint) { ++fires; }};
+  sim.schedule_at(TimePoint::from_nanos(25'000'000), [&] { timer.cancel(); });
+  sim.run_until(TimePoint::from_nanos(100'000'000));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimerTest, RejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, Duration{}, [](TimePoint) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbdcsim::sim

@@ -1,0 +1,202 @@
+#include "fbdcsim/topology/network.h"
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/topology/fabric.h"
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::topology {
+namespace {
+
+Fleet small_fleet() {
+  StandardFleetConfig cfg;
+  cfg.sites = 2;
+  cfg.datacenters_per_site = 1;
+  cfg.frontend_clusters = 1;
+  cfg.cache_clusters = 1;
+  cfg.hadoop_clusters = 1;
+  cfg.database_clusters = 0;
+  cfg.service_clusters = 1;
+  cfg.racks_per_cluster = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.frontend_web_racks = 2;
+  cfg.frontend_cache_racks = 1;
+  cfg.frontend_multifeed_racks = 1;
+  return build_standard_fleet(cfg);
+}
+
+TEST(FourPostBuilderTest, SwitchInventory) {
+  const Fleet f = small_fleet();
+  const Network net = FourPostBuilder{}.build(f);
+
+  std::size_t rsw = 0, csw = 0, fc = 0, agg = 0, dr = 0;
+  for (const Switch& s : net.switches()) {
+    switch (s.kind) {
+      case SwitchKind::kRsw: ++rsw; break;
+      case SwitchKind::kCsw: ++csw; break;
+      case SwitchKind::kFc: ++fc; break;
+      case SwitchKind::kSiteAgg: ++agg; break;
+      case SwitchKind::kDr: ++dr; break;
+    }
+  }
+  EXPECT_EQ(rsw, f.num_racks());
+  EXPECT_EQ(csw, f.clusters().size() * 4);
+  EXPECT_EQ(fc, f.datacenters().size() * 4);
+  EXPECT_EQ(agg, f.sites().size() * 2);
+  EXPECT_EQ(dr, f.datacenters().size());
+}
+
+TEST(FourPostBuilderTest, EveryHostHasAccessLinks) {
+  const Fleet f = small_fleet();
+  const Network net = FourPostBuilder{}.build(f);
+  for (const Host& h : f.hosts()) {
+    const Link& up = net.link(net.access_uplink(h.id));
+    const Link& down = net.link(net.access_downlink(h.id));
+    EXPECT_EQ(up.from, NodeRef::host(h.id));
+    EXPECT_EQ(up.to, NodeRef::sw(net.rsw_of(h.rack)));
+    EXPECT_EQ(down.from, NodeRef::sw(net.rsw_of(h.rack)));
+    EXPECT_EQ(down.to, NodeRef::host(h.id));
+    EXPECT_EQ(up.capacity, core::DataRate::gigabits_per_sec(10));
+  }
+}
+
+TEST(FourPostBuilderTest, RswConnectsToAllFourCsws) {
+  const Fleet f = small_fleet();
+  const Network net = FourPostBuilder{}.build(f);
+  for (const Rack& rack : f.racks()) {
+    const SwitchId rsw = net.rsw_of(rack.id);
+    for (const SwitchId csw : net.csws_of(rack.cluster)) {
+      EXPECT_NO_THROW((void)net.find_link(NodeRef::sw(rsw), NodeRef::sw(csw)));
+      EXPECT_NO_THROW((void)net.find_link(NodeRef::sw(csw), NodeRef::sw(rsw)));
+    }
+  }
+}
+
+class RouterLocalityTest : public ::testing::TestWithParam<core::Locality> {};
+
+TEST_P(RouterLocalityTest, PathsAreWellFormed) {
+  const Fleet f = small_fleet();
+  const Network net = FourPostBuilder{}.build(f);
+  const Router router{f, net};
+
+  // Find a host pair with the requested locality and route between them.
+  const core::Locality want = GetParam();
+  bool found = false;
+  for (const Host& a : f.hosts()) {
+    for (const Host& b : f.hosts()) {
+      if (a.id == b.id || f.locality(a.id, b.id) != want) continue;
+      const core::FiveTuple tuple{a.addr, b.addr, 40000, 80, core::Protocol::kTcp};
+      const auto path = router.route(a.id, b.id, tuple);
+      ASSERT_FALSE(path.empty());
+      // First link leaves the source host; last link enters the dest host.
+      EXPECT_EQ(net.link(path.front()).from, NodeRef::host(a.id));
+      EXPECT_EQ(net.link(path.back()).to, NodeRef::host(b.id));
+      // Adjacent links share the intermediate node.
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        EXPECT_EQ(net.link(path[i - 1]).to, net.link(path[i]).from);
+      }
+      // Path length matches the locality's hop structure.
+      switch (want) {
+        case core::Locality::kIntraRack: EXPECT_EQ(path.size(), 2u); break;
+        case core::Locality::kIntraCluster: EXPECT_EQ(path.size(), 4u); break;
+        case core::Locality::kIntraDatacenter: EXPECT_EQ(path.size(), 6u); break;
+        case core::Locality::kInterDatacenter: EXPECT_GE(path.size(), 6u); break;
+      }
+      found = true;
+      break;
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found) << "no host pair with locality " << to_string(want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocalities, RouterLocalityTest,
+                         ::testing::Values(core::Locality::kIntraRack,
+                                           core::Locality::kIntraCluster,
+                                           core::Locality::kIntraDatacenter,
+                                           core::Locality::kInterDatacenter));
+
+TEST(RouterTest, SameHostIsEmptyPath) {
+  const Fleet f = small_fleet();
+  const Network net = FourPostBuilder{}.build(f);
+  const Router router{f, net};
+  const Host& h = f.hosts().front();
+  EXPECT_TRUE(router.route(h.id, h.id, {}).empty());
+}
+
+TEST(RouterTest, EcmpIsDeterministicPerTuple) {
+  const Fleet f = small_fleet();
+  const Network net = FourPostBuilder{}.build(f);
+  const Router router{f, net};
+  const Host& a = f.hosts().front();
+  // A cross-cluster pair.
+  const Host* b = nullptr;
+  for (const Host& h : f.hosts()) {
+    if (f.locality(a.id, h.id) == core::Locality::kIntraDatacenter) {
+      b = &h;
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+  const core::FiveTuple t1{a.addr, b->addr, 40000, 80, core::Protocol::kTcp};
+  EXPECT_EQ(router.route(a.id, b->id, t1), router.route(a.id, b->id, t1));
+
+  // Different tuples should (eventually) pick different CSWs.
+  bool diverged = false;
+  const auto base = router.route(a.id, b->id, t1);
+  for (core::Port p = 40001; p < 40064; ++p) {
+    const core::FiveTuple t2{a.addr, b->addr, p, 80, core::Protocol::kTcp};
+    if (router.route(a.id, b->id, t2) != base) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FabricBuilderTest, BuildsPodFabric) {
+  const Fleet f = small_fleet();
+  const Network net = FabricBuilder{}.build(f);
+  // Fabric reuses the level structure: per-pod aggregation exists and the
+  // Router still produces valid paths.
+  const Router router{f, net};
+  const Host& a = f.hosts().front();
+  const Host& b = f.hosts().back();
+  const core::FiveTuple tuple{a.addr, b.addr, 40000, 80, core::Protocol::kTcp};
+  const auto path = router.route(a.id, b.id, tuple);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(net.link(path.front()).from, NodeRef::host(a.id));
+  EXPECT_EQ(net.link(path.back()).to, NodeRef::host(b.id));
+  // Fabric uplinks are 40 Gbps.
+  EXPECT_EQ(net.link(path[1]).capacity, core::DataRate::gigabits_per_sec(40));
+}
+
+TEST(StandardFleetTest, TypeMixMatchesConfig) {
+  const Fleet f = small_fleet();
+  std::size_t frontend = 0;
+  for (const Cluster& c : f.clusters()) {
+    if (c.type == ClusterType::kFrontend) ++frontend;
+  }
+  EXPECT_EQ(frontend, 2u);  // one per DC, two DCs
+}
+
+TEST(StandardFleetTest, RejectsBadConfig) {
+  StandardFleetConfig cfg;
+  cfg.racks_per_cluster = 4;
+  cfg.frontend_web_racks = 10;  // exceeds cluster size
+  EXPECT_THROW(build_standard_fleet(cfg), std::invalid_argument);
+  StandardFleetConfig zero;
+  zero.sites = 0;
+  EXPECT_THROW(build_standard_fleet(zero), std::invalid_argument);
+}
+
+TEST(StandardFleetTest, SingleClusterFleet) {
+  const Fleet f = build_single_cluster_fleet(ClusterType::kHadoop, 8, 4);
+  EXPECT_EQ(f.clusters().size(), 1u);
+  EXPECT_EQ(f.num_racks(), 8u);
+  EXPECT_EQ(f.num_hosts(), 32u);
+  for (const Host& h : f.hosts()) EXPECT_EQ(h.role, core::HostRole::kHadoop);
+}
+
+}  // namespace
+}  // namespace fbdcsim::topology
