@@ -7,9 +7,13 @@
 // utilization — showing which cluster types actually need the bandwidth a
 // uniform fabric would give everyone.
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common.h"
 #include "fbdcsim/monitoring/link_stats.h"
+#include "fbdcsim/runtime/sharded_fleet.h"
 #include "fbdcsim/workload/fleet_flows.h"
 
 using namespace fbdcsim;
@@ -49,36 +53,53 @@ int main() {
   for (const auto t : kTypes) std::printf("  %9s", topology::to_string(t));
   std::printf("   (p99 RSW->CSW util)\n");
 
-  for (const std::int64_t gbps : {5LL, 10LL, 20LL, 40LL}) {
+  // The workload is identical at every sweep point: generate the flow list
+  // once (in parallel), then route it over each candidate fabric
+  // concurrently — one Network/Router/LinkStats per task.
+  workload::FleetGenConfig cfg;
+  cfg.horizon = core::Duration::hours(1);
+  cfg.epoch = core::Duration::minutes(15);
+  cfg.seed = 77;
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+  runtime::ThreadPool pool;
+  const runtime::ShardedFleetRunner runner{gen, pool};
+  const std::vector<core::FlowRecord> flows = runner.collect_flows();
+
+  struct SweepRow {
+    std::int64_t gbps{0};
+    double p99[4]{};
+  };
+  const std::vector<std::int64_t> speeds{5, 10, 20, 40};
+  const auto rows = pool.parallel_map(speeds, [&](const std::int64_t& gbps) {
     topology::FourPostConfig net_cfg;
     net_cfg.rsw_to_csw = core::DataRate::gigabits_per_sec(gbps);
     const topology::Network net = topology::FourPostBuilder{net_cfg}.build(fleet);
     const topology::Router router{fleet, net};
-
-    workload::FleetGenConfig cfg;
-    cfg.horizon = core::Duration::hours(1);
-    cfg.epoch = core::Duration::minutes(15);
-    cfg.seed = 77;
-    const workload::FleetFlowGenerator gen{fleet, cfg};
     monitoring::LinkStats stats{net, cfg.horizon};
-    gen.generate([&](const core::FlowRecord& flow) {
+    for (const auto& flow : flows) {
       stats.add_path(router.route(flow.src_host, flow.dst_host, flow.tuple), flow.start,
                      flow.duration, flow.bytes);
-    });
-
-    const double oversub = 32.0 * 10.0 / (4.0 * static_cast<double>(gbps));
-    std::printf("%-22s  %9.1f:1", (std::to_string(gbps) + " Gbps").c_str(), oversub);
-    for (const auto type : kTypes) {
+    }
+    SweepRow row;
+    row.gbps = gbps;
+    for (std::size_t t = 0; t < 4; ++t) {
       auto utils = stats.utilizations_where([&](const topology::Link& link) {
         if (link.from.kind != topology::NodeRef::Kind::kSwitch) return false;
         const auto& sw = net.sw(core::SwitchId{link.from.index});
         if (sw.kind != topology::SwitchKind::kRsw) return false;
         if (link.to.kind != topology::NodeRef::Kind::kSwitch) return false;
-        return fleet.cluster(sw.cluster).type == type;
+        return fleet.cluster(sw.cluster).type == kTypes[t];
       });
       core::Cdf cdf{std::move(utils)};
-      std::printf("  %8.1f%%", cdf.p99() * 100.0);
+      row.p99[t] = cdf.p99();
     }
+    return row;
+  });
+
+  for (const SweepRow& row : rows) {
+    const double oversub = 32.0 * 10.0 / (4.0 * static_cast<double>(row.gbps));
+    std::printf("%-22s  %9.1f:1", (std::to_string(row.gbps) + " Gbps").c_str(), oversub);
+    for (std::size_t t = 0; t < 4; ++t) std::printf("  %8.1f%%", row.p99[t] * 100.0);
     std::printf("\n");
   }
 

@@ -47,10 +47,16 @@ int main() {
   bench::BenchEnv env;
   const auto& resolver = env.resolver();
 
-  const bench::RoleTrace web = env.capture(core::HostRole::kWeb, 8);
-  const bench::RoleTrace cache_f = env.capture(core::HostRole::kCacheFollower, 8);
-  const bench::RoleTrace cache_l = env.capture(core::HostRole::kCacheLeader, 8);
-  const bench::RoleTrace hadoop = env.capture(core::HostRole::kHadoop, 12);
+  // The four role captures are independent simulations; run them
+  // concurrently on the shared pool (FBDCSIM_THREADS controls the width).
+  const auto traces = env.capture_all({{core::HostRole::kWeb, 8},
+                                       {core::HostRole::kCacheFollower, 8},
+                                       {core::HostRole::kCacheLeader, 8},
+                                       {core::HostRole::kHadoop, 12}});
+  const bench::RoleTrace& web = traces[0];
+  const bench::RoleTrace& cache_f = traces[1];
+  const bench::RoleTrace& cache_l = traces[2];
+  const bench::RoleTrace& hadoop = traces[3];
 
   // ----- §3.2 / Table 2 -----
   {

@@ -13,6 +13,7 @@
 
 #include "common.h"
 #include "fbdcsim/monitoring/fbflow.h"
+#include "fbdcsim/runtime/sharded_fleet.h"
 #include "fbdcsim/workload/fleet_flows.h"
 
 using namespace fbdcsim;
@@ -95,7 +96,9 @@ int main() {
   cfg.rate_scale = 0.001;  // shares are scale-free; bounds sample volume
   const workload::FleetFlowGenerator gen{fleet, cfg};
   monitoring::FbflowPipeline fbflow{fleet, 3'000, core::RngStream{42}};
-  gen.generate([&](const core::FlowRecord& flow) { fbflow.offer_flow(flow); });
+  runtime::ThreadPool pool;
+  const runtime::ShardedFleetRunner runner{gen, pool};
+  runner.stream([&](const core::FlowRecord& flow) { fbflow.offer_flow(flow); });
   std::printf("sampled headers: %zu\n", fbflow.scuba().size());
 
   // (a) Hadoop cluster: first Hadoop cluster in DC 0.

@@ -1,0 +1,142 @@
+// Runtime scaling: serial vs ShardedFleetRunner wall-clock for the Table 3
+// fleet workload, with bit-identity of the resulting locality matrix
+// asserted for every worker count. Exits non-zero on any mismatch, or — on
+// hardware with at least 4 cores — if 4 workers fail to reach a 2x speedup.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common.h"
+#include "fbdcsim/monitoring/fbflow.h"
+#include "fbdcsim/runtime/sharded_fleet.h"
+#include "fbdcsim/workload/fleet_flows.h"
+
+using namespace fbdcsim;
+
+namespace {
+
+struct RunResult {
+  double seconds{0.0};
+  std::int64_t flows{0};
+  double bytes{0.0};
+  std::size_t samples{0};
+  monitoring::ScubaTable::LocalityBytes locality{};
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+using Feed = std::function<void(const workload::FleetFlowGenerator::Visit&)>;
+
+RunResult measure(const Feed& feed, monitoring::FbflowPipeline& fbflow) {
+  RunResult r;
+  std::int64_t flows = 0;
+  double bytes = 0.0;
+  const double t0 = now_seconds();
+  feed([&](const core::FlowRecord& flow) {
+    fbflow.offer_flow(flow);
+    bytes += static_cast<double>(flow.bytes.count_bytes());
+    ++flows;
+  });
+  r.seconds = now_seconds() - t0;
+  r.flows = flows;
+  r.bytes = bytes;
+  r.samples = fbflow.scuba().size();
+  r.locality = fbflow.scuba().locality_bytes(fbflow.sampling_rate());
+  return r;
+}
+
+int compare(const RunResult& ref, const RunResult& got, int workers) {
+  int mismatches = 0;
+  if (got.flows != ref.flows) {
+    std::printf("MISMATCH (%d workers): flow count %lld vs %lld\n", workers,
+                static_cast<long long>(got.flows), static_cast<long long>(ref.flows));
+    ++mismatches;
+  }
+  if (got.bytes != ref.bytes) {
+    std::printf("MISMATCH (%d workers): byte total %.17g vs %.17g\n", workers,
+                got.bytes, ref.bytes);
+    ++mismatches;
+  }
+  if (got.samples != ref.samples) {
+    std::printf("MISMATCH (%d workers): sampled headers %zu vs %zu\n", workers,
+                got.samples, ref.samples);
+    ++mismatches;
+  }
+  for (int l = 0; l < core::kNumLocalities; ++l) {
+    if (got.locality.bytes[l] != ref.locality.bytes[l]) {
+      std::printf("MISMATCH (%d workers): locality[%d] %.17g vs %.17g\n", workers, l,
+                  got.locality.bytes[l], ref.locality.bytes[l]);
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Runtime scaling: serial vs sharded parallel fleet generation",
+                "Section 3.3.1 methodology; runtime/ subsystem check");
+
+  const topology::Fleet fleet = workload::build_fleet_experiment_fleet();
+  workload::FleetGenConfig cfg;
+  // The Table 3 workload at a shorter horizon: enough work for stable
+  // timings, small enough that the serial baseline stays a few seconds.
+  cfg.horizon = core::Duration::hours(6);
+  cfg.epoch = core::Duration::minutes(30);
+  cfg.seed = 2015;
+  cfg.rate_scale = 0.005;
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+  std::printf("fleet: %zu hosts; horizon: 6 h\n\n", fleet.num_hosts());
+
+  // Serial reference: the plain FleetFlowGenerator::generate path.
+  monitoring::FbflowPipeline serial_pipe{fleet, monitoring::kDefaultSamplingRate,
+                                         core::RngStream{99}};
+  const RunResult serial = measure(
+      [&](const workload::FleetFlowGenerator::Visit& v) { gen.generate(v); }, serial_pipe);
+  std::printf("%-10s  %10s  %10s  %12s  %14s\n", "config", "wall (s)", "speedup",
+              "flows", "sampled hdrs");
+  std::printf("%-10s  %10.3f  %10s  %12lld  %14zu\n", "serial", serial.seconds, "1.00x",
+              static_cast<long long>(serial.flows), serial.samples);
+
+  int mismatches = 0;
+  double speedup4 = 0.0;
+  for (const int workers : {1, 2, 4, 8}) {
+    runtime::ThreadPool pool{workers};
+    const runtime::ShardedFleetRunner runner{gen, pool};
+    monitoring::FbflowPipeline pipe{fleet, monitoring::kDefaultSamplingRate,
+                                    core::RngStream{99}};
+    const RunResult r = measure(
+        [&](const workload::FleetFlowGenerator::Visit& v) { runner.stream(v); }, pipe);
+    const double speedup = serial.seconds / r.seconds;
+    if (workers == 4) speedup4 = speedup;
+    std::printf("%-10s%2d  %8.3f  %9.2fx  %12lld  %14zu\n", "workers=", workers,
+                r.seconds, speedup, static_cast<long long>(r.flows), r.samples);
+    mismatches += compare(serial, r, workers);
+  }
+
+  std::printf("\n");
+  if (mismatches == 0) {
+    std::printf("output equivalence: PASS — every worker count reproduced the serial "
+                "locality matrix, flow count, and byte total bit-for-bit\n");
+  } else {
+    std::printf("output equivalence: FAIL — %d mismatches\n", mismatches);
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4) {
+    std::printf("speedup gate (>=2x on 4 workers, %u cores): %s (%.2fx)\n", hw,
+                speedup4 >= 2.0 ? "PASS" : "FAIL", speedup4);
+    if (speedup4 < 2.0) ++mismatches;
+  } else {
+    std::printf("speedup gate: skipped — only %u core(s) available, a >=2x speedup "
+                "is not demonstrable on this machine (equivalence still checked)\n",
+                hw);
+  }
+  return mismatches;
+}

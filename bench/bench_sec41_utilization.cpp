@@ -10,6 +10,7 @@
 
 #include "common.h"
 #include "fbdcsim/monitoring/link_stats.h"
+#include "fbdcsim/runtime/sharded_fleet.h"
 #include "fbdcsim/workload/fleet_flows.h"
 
 using namespace fbdcsim;
@@ -66,8 +67,12 @@ int main() {
   const workload::FleetFlowGenerator gen{fleet, cfg};
 
   monitoring::LinkStats stats{net, cfg.horizon};
+  // Flow generation is the dominant cost; route-and-charge runs serially on
+  // the caller thread over the canonically ordered parallel stream.
+  runtime::ThreadPool pool;
+  const runtime::ShardedFleetRunner runner{gen, pool};
   std::int64_t flows = 0;
-  gen.generate([&](const core::FlowRecord& flow) {
+  runner.stream([&](const core::FlowRecord& flow) {
     const auto path = router.route(flow.src_host, flow.dst_host, flow.tuple);
     stats.add_path(path, flow.start, flow.duration, flow.bytes);
     ++flows;

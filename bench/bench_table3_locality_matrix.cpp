@@ -9,6 +9,7 @@
 
 #include "common.h"
 #include "fbdcsim/monitoring/fbflow.h"
+#include "fbdcsim/runtime/sharded_fleet.h"
 #include "fbdcsim/workload/fleet_flows.h"
 
 using namespace fbdcsim;
@@ -32,8 +33,12 @@ int main() {
 
   monitoring::FbflowPipeline fbflow{fleet, monitoring::kDefaultSamplingRate,
                                     core::RngStream{99}};
+  // Generate in parallel; the runner merges shards in canonical host order,
+  // so the pipeline sees the exact serial flow stream.
+  runtime::ThreadPool pool;
+  const runtime::ShardedFleetRunner runner{gen, pool};
   std::int64_t flows = 0;
-  gen.generate([&](const core::FlowRecord& flow) {
+  runner.stream([&](const core::FlowRecord& flow) {
     fbflow.offer_flow(flow);
     ++flows;
   });

@@ -1,13 +1,31 @@
 #include "common.h"
 
 #include <cstdlib>
+#include <utility>
+
+#include "fbdcsim/runtime/parallel_capture.h"
 
 namespace fbdcsim::bench {
 
 std::int64_t BenchEnv::effective_seconds(std::int64_t nominal) {
   if (const char* env = std::getenv("FBDCSIM_BENCH_SECONDS")) {
-    const std::int64_t v = std::atoll(env);
-    if (v > 0) return v;
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "FBDCSIM_BENCH_SECONDS='%s' is not an integer; using the nominal "
+                   "%lld s\n",
+                   env, static_cast<long long>(nominal));
+      return nominal;
+    }
+    if (v <= 0) {
+      std::fprintf(stderr,
+                   "FBDCSIM_BENCH_SECONDS=%lld must be positive; using the nominal "
+                   "%lld s\n",
+                   v, static_cast<long long>(nominal));
+      return nominal;
+    }
+    return v;
   }
   return nominal;
 }
@@ -23,6 +41,23 @@ RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Twe
   trace.self = fleet_.host(cfg.monitored_host).addr;
   trace.result = sim.run();
   return trace;
+}
+
+runtime::ThreadPool& BenchEnv::pool() {
+  if (!pool_) pool_ = std::make_unique<runtime::ThreadPool>();
+  return *pool_;
+}
+
+std::vector<RoleTrace> BenchEnv::capture_all(std::vector<CaptureSpec> specs) {
+  std::vector<std::function<RoleTrace()>> tasks;
+  tasks.reserve(specs.size());
+  for (CaptureSpec& spec : specs) {
+    tasks.push_back([this, spec = std::move(spec)] {
+      return capture(spec.role, spec.seconds, spec.tweak);
+    });
+  }
+  const runtime::ParallelCaptureRunner runner{pool()};
+  return runner.run(tasks);
 }
 
 namespace {
@@ -62,6 +97,7 @@ void banner(const char* experiment, const char* paper_ref) {
   std::printf("%s\n", experiment);
   std::printf("Reproduces: %s — 'Inside the Social Network's (Datacenter) Network'\n",
               paper_ref);
+  std::printf("threads: %d (override with FBDCSIM_THREADS)\n", runtime::env_thread_count());
   std::printf("==================================================================\n");
 }
 

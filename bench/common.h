@@ -15,6 +15,7 @@
 
 #include "fbdcsim/analysis/resolver.h"
 #include "fbdcsim/core/stats.h"
+#include "fbdcsim/runtime/thread_pool.h"
 #include "fbdcsim/workload/presets.h"
 
 namespace fbdcsim::bench {
@@ -41,12 +42,31 @@ class BenchEnv {
   [[nodiscard]] RoleTrace capture(core::HostRole role, std::int64_t seconds,
                                   const Tweak& tweak = {});
 
-  /// Effective capture length for a nominal request.
+  /// One requested capture for the parallel entry point.
+  struct CaptureSpec {
+    core::HostRole role;
+    std::int64_t seconds;
+    Tweak tweak = {};
+  };
+
+  /// Captures every spec concurrently (one Simulator per spec, scheduled
+  /// over the FBDCSIM_THREADS-sized pool) and returns traces in spec
+  /// order. Each capture is identical to what `capture` would produce —
+  /// simulations are seeded independently of scheduling.
+  [[nodiscard]] std::vector<RoleTrace> capture_all(std::vector<CaptureSpec> specs);
+
+  /// The shared worker pool (created on first use; FBDCSIM_THREADS-sized).
+  [[nodiscard]] runtime::ThreadPool& pool();
+
+  /// Effective capture length for a nominal request. Malformed or
+  /// non-positive FBDCSIM_BENCH_SECONDS values are diagnosed on stderr and
+  /// ignored.
   [[nodiscard]] static std::int64_t effective_seconds(std::int64_t nominal);
 
  private:
   topology::Fleet fleet_;
   analysis::AddrResolver resolver_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
 };
 
 /// Prints a CDF as (quantile, value) rows at the paper's usual quantiles.

@@ -66,6 +66,13 @@ class Cdf {
     sorted_ = false;
   }
 
+  /// Absorbs another CDF's samples (the sharded-accumulator merge step:
+  /// quantiles of the merged set are independent of merge order).
+  void merge(const Cdf& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
 

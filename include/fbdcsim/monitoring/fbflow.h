@@ -21,6 +21,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fbdcsim/core/flow.h"
@@ -88,6 +89,9 @@ class ScribeBus {
 
   [[nodiscard]] std::int64_t published() const { return published_; }
 
+  /// Folds another bus's publish counter into this one (pipeline merge).
+  void absorb_counters(const ScribeBus& other) { published_ += other.published_; }
+
  private:
   std::vector<Subscriber> subscribers_;
   std::int64_t published_{0};
@@ -128,6 +132,12 @@ class Tagger {
 class ScubaTable {
  public:
   void add(const TaggedSample& row) { rows_.push_back(row); }
+
+  /// Appends another table's rows (in their landed order) — the merge step
+  /// when per-shard pipelines are combined after a parallel fleet run.
+  void merge(const ScubaTable& other) {
+    rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+  }
 
   [[nodiscard]] std::span<const TaggedSample> rows() const { return rows_; }
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
@@ -175,16 +185,32 @@ class ScubaTable {
 };
 
 /// Convenience: a fully wired agent->scribe->tagger->scuba pipeline.
+///
+/// Flow-mode sampling draws from a per-reporter-host stream forked from the
+/// pipeline's root rng (`fork("analytic-host", host)`), mirroring the
+/// production system where every machine's agent samples independently.
+/// Consequently the samples drawn for one host's flows do not depend on how
+/// flows from *different* hosts interleave — the determinism contract that
+/// lets runtime::ShardedFleetRunner feed per-shard pipelines in parallel
+/// and merge them into the same result as a serial run.
 class FbflowPipeline {
  public:
   FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampling_rate,
                  core::RngStream rng);
 
-  /// Fleet mode: offer a completed flow for analytic sampling.
+  /// Fleet mode: offer a completed flow for analytic sampling. The flow's
+  /// src_host is the reporting agent.
   void offer_flow(const core::FlowRecord& flow);
 
   /// Packet mode: offer one packet observed at `reporter`.
   void offer_packet(core::HostId reporter, const core::PacketHeader& header);
+
+  /// Absorbs another pipeline's landed rows and counters, appending its
+  /// Scuba rows after this pipeline's. Both pipelines must share the
+  /// sampling rate (and, for meaningful results, the root rng seed and
+  /// fleet). Merging shard pipelines in canonical shard order reproduces a
+  /// serial pipeline's table row-for-row.
+  void merge(const FbflowPipeline& other);
 
   [[nodiscard]] const ScubaTable& scuba() const { return scuba_; }
   [[nodiscard]] const ScribeBus& scribe() const { return scribe_; }
@@ -192,8 +218,11 @@ class FbflowPipeline {
   [[nodiscard]] std::int64_t tag_failures() const { return tag_failures_; }
 
  private:
+  [[nodiscard]] AnalyticSampler& sampler_for(core::HostId reporter);
+
   std::int64_t sampling_rate_;
-  AnalyticSampler analytic_;
+  core::RngStream analytic_root_;
+  std::unordered_map<std::uint64_t, AnalyticSampler> analytic_;  // by reporter host
   core::RngStream packet_rng_;  // must precede packet_sampler_
   PacketSampler packet_sampler_;
   ScribeBus scribe_;

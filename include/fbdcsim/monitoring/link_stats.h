@@ -27,6 +27,11 @@ class LinkStats {
   void add_path(std::span<const core::LinkId> path, core::TimePoint start, core::Duration dur,
                 core::DataSize bytes);
 
+  /// Adds another accumulator's per-(link, minute) bytes into this one.
+  /// Both must cover the same network and horizon. Used to combine
+  /// per-shard accumulators after a parallel fleet run.
+  void merge(const LinkStats& other);
+
   /// Utilization of a link in a given minute, as a fraction of capacity.
   [[nodiscard]] double utilization(core::LinkId link, std::int64_t minute) const;
 

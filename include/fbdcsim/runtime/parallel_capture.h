@@ -1,0 +1,37 @@
+// Concurrent execution of independent packet-level simulations.
+//
+// The discrete-event Simulator is strictly single-threaded; rack-level
+// experiments that need several captures (the anchor scorecard's four
+// monitored roles, a sweep's ablation points) get their parallelism by
+// running one Simulator per task. Each task owns its whole simulation —
+// RackSimConfig, RackSimulation, result — and shares only the immutable
+// Fleet, so tasks are embarrassingly parallel and each remains individually
+// deterministic under its own seed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fbdcsim/runtime/thread_pool.h"
+
+namespace fbdcsim::runtime {
+
+class ParallelCaptureRunner {
+ public:
+  explicit ParallelCaptureRunner(ThreadPool& pool) : pool_{&pool} {}
+
+  /// Runs every task on the pool and returns their results in task order.
+  /// A task's exception propagates to the caller (lowest task index wins)
+  /// after the whole batch has finished.
+  template <typename R>
+  [[nodiscard]] std::vector<R> run(const std::vector<std::function<R()>>& tasks) const {
+    return pool_->parallel_map(tasks, [](const std::function<R()>& task) { return task(); });
+  }
+
+  [[nodiscard]] int workers() const { return pool_->size(); }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace fbdcsim::runtime

@@ -1,0 +1,61 @@
+// Parallel fleet-scale flow generation with serial-identical output.
+//
+// FleetFlowGenerator derives every host's randomness by forking the root
+// stream per host (`fork("fleet-host", host)`), so a host's flow sequence is
+// independent of when — or on which thread — it is generated. The runner
+// exploits that: hosts are partitioned into fixed-size shards, workers
+// generate shards concurrently into private buffers, and the caller consumes
+// the buffers in canonical host-ID order. The delivered flow stream is
+// therefore bit-identical to `FleetFlowGenerator::generate`, for any worker
+// count, so every downstream aggregate (Table 3 locality matrix, Figure 5
+// traffic matrices, §4.1 link utilization) is bit-identical too.
+//
+// The shard size is fixed in ShardOptions rather than derived from the pool
+// width, so the shard structure — and any per-shard accumulator a caller
+// might merge — does not change when FBDCSIM_THREADS does.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fbdcsim/core/flow.h"
+#include "fbdcsim/runtime/thread_pool.h"
+#include "fbdcsim/workload/fleet_flows.h"
+
+namespace fbdcsim::runtime {
+
+struct ShardOptions {
+  /// Hosts per shard — the unit of work handed to one worker.
+  std::size_t shard_size = 32;
+  /// Completed shards allowed to wait, queued or buffered, ahead of the
+  /// in-order consumer; bounds memory to roughly this many shards' flow
+  /// records. 0 means 2x the pool's worker count.
+  std::size_t max_buffered_shards = 0;
+};
+
+/// Runs FleetFlowGenerator::generate_for_host across a ThreadPool and
+/// delivers the merged flow stream in canonical host-ID order.
+class ShardedFleetRunner {
+ public:
+  ShardedFleetRunner(const workload::FleetFlowGenerator& gen, ThreadPool& pool,
+                     ShardOptions options = {});
+
+  /// Streams every flow of every host to `sink`, in exactly the order the
+  /// serial `generate` would. `sink` runs on the calling thread only;
+  /// worker exceptions and sink exceptions both propagate to the caller
+  /// after all in-flight shards have drained.
+  void stream(const workload::FleetFlowGenerator::Visit& sink) const;
+
+  /// All flows, merged in canonical order (a buffered `stream`).
+  [[nodiscard]] std::vector<core::FlowRecord> collect_flows() const;
+
+  [[nodiscard]] std::size_t num_hosts() const;
+  [[nodiscard]] std::size_t num_shards() const;
+
+ private:
+  const workload::FleetFlowGenerator* gen_;
+  ThreadPool* pool_;
+  ShardOptions options_;
+};
+
+}  // namespace fbdcsim::runtime

@@ -73,11 +73,15 @@ class FleetFlowGenerator {
   /// Streams every generated flow record to `visit` (no buffering).
   void generate(const Visit& visit) const;
 
-  /// Generates flows for a single host (all epochs) — used by tests and
-  /// the Table 2 bench.
+  /// Generates flows for a single host (all epochs) — used by tests, the
+  /// Table 2 bench, and runtime::ShardedFleetRunner. The host's randomness
+  /// is forked from the root seed by host ID, so this is safe to call
+  /// concurrently for distinct hosts and the output never depends on which
+  /// other hosts were generated first.
   void generate_for_host(core::HostId host, const Visit& visit) const;
 
   [[nodiscard]] const RoleIndex& index() const { return index_; }
+  [[nodiscard]] const topology::Fleet& fleet() const { return *fleet_; }
 
  private:
   struct Component;  // one (dst-role, scope-mix, byte-rate) traffic class

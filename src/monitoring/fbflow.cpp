@@ -1,6 +1,7 @@
 #include "fbdcsim/monitoring/fbflow.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "fbdcsim/core/units.h"
 
@@ -194,7 +195,7 @@ std::vector<std::pair<core::HostRole, double>> ScubaTable::outbound_by_dest_role
 FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampling_rate,
                                core::RngStream rng)
     : sampling_rate_{sampling_rate},
-      analytic_{sampling_rate, rng.fork("analytic")},
+      analytic_root_{rng.fork("analytic")},
       packet_rng_{rng.fork("packet")},
       packet_sampler_{sampling_rate, packet_rng_},
       tagger_{fleet} {
@@ -208,8 +209,27 @@ FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampli
   });
 }
 
+AnalyticSampler& FbflowPipeline::sampler_for(core::HostId reporter) {
+  const std::uint64_t key = reporter.value();
+  const auto it = analytic_.find(key);
+  if (it != analytic_.end()) return it->second;
+  return analytic_
+      .emplace(key, AnalyticSampler{sampling_rate_, analytic_root_.fork("analytic-host", key)})
+      .first->second;
+}
+
 void FbflowPipeline::offer_flow(const core::FlowRecord& flow) {
-  analytic_.sample_flow(flow, [this](const SampledPacket& s) { scribe_.publish(s); });
+  sampler_for(flow.src_host)
+      .sample_flow(flow, [this](const SampledPacket& s) { scribe_.publish(s); });
+}
+
+void FbflowPipeline::merge(const FbflowPipeline& other) {
+  if (other.sampling_rate_ != sampling_rate_) {
+    throw std::invalid_argument{"FbflowPipeline::merge: sampling rates differ"};
+  }
+  scuba_.merge(other.scuba_);
+  scribe_.absorb_counters(other.scribe_);
+  tag_failures_ += other.tag_failures_;
 }
 
 void FbflowPipeline::offer_packet(core::HostId reporter, const core::PacketHeader& header) {

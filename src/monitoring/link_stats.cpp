@@ -44,6 +44,17 @@ void LinkStats::add_path(std::span<const core::LinkId> path, core::TimePoint sta
   for (const core::LinkId link : path) add(link, start, dur, bytes);
 }
 
+void LinkStats::merge(const LinkStats& other) {
+  if (other.network_ != network_ || other.minutes_ != minutes_) {
+    throw std::invalid_argument{"LinkStats::merge: accumulators cover different shapes"};
+  }
+  for (std::size_t link = 0; link < bytes_.size(); ++link) {
+    auto& row = bytes_[link];
+    const auto& src = other.bytes_[link];
+    for (std::size_t m = 0; m < row.size(); ++m) row[m] += src[m];
+  }
+}
+
 double LinkStats::utilization(core::LinkId link, std::int64_t minute) const {
   const auto& row = bytes_.at(link.value());
   const double b = row.at(static_cast<std::size_t>(minute));

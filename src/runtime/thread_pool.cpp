@@ -1,0 +1,111 @@
+#include "fbdcsim/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace fbdcsim::runtime {
+
+int env_thread_count() {
+  if (const char* env = std::getenv("FBDCSIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<int>(v);
+    }
+    std::fprintf(stderr,
+                 "FBDCSIM_THREADS='%s' is not a positive integer; "
+                 "using hardware concurrency instead\n",
+                 env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(1, workers);
+  // Enough backlog that posters rarely stall, small enough that a runaway
+  // producer is throttled rather than buffered without bound.
+  max_queue_ = std::max<std::size_t>(static_cast<std::size_t>(n) * 4, 64);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk{mu_};
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk{mu_};
+    space_ready_.wait(lk, [this] { return queue_.size() < max_queue_ || stopping_; });
+    if (stopping_) return;  // racing a destructor; drop the task
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk{mu_};
+      task_ready_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_each(std::size_t count,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+    std::size_t error_index;
+  } state;
+  state.remaining = count;
+  state.error_index = std::numeric_limits<std::size_t>::max();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    post([i, &fn, &state] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk{state.mu};
+        if (i < state.error_index) {
+          state.error = std::current_exception();
+          state.error_index = i;
+        }
+      }
+      // Notify while holding the lock: the waiting caller destroys `state`
+      // as soon as it reacquires the mutex, so signalling after unlock
+      // would race the condition variable's destruction.
+      std::lock_guard<std::mutex> lk{state.mu};
+      if (--state.remaining == 0) state.done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lk{state.mu};
+  state.done.wait(lk, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace fbdcsim::runtime

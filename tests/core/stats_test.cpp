@@ -106,6 +106,37 @@ TEST(CdfTest, AddAllAndUnsortedInput) {
   EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
 }
 
+TEST(CdfTest, MergeCombinesSampleSets) {
+  Cdf a;
+  a.add_all(std::vector<double>{1.0, 2.0, 3.0});
+  Cdf b;
+  b.add_all(std::vector<double>{10.0, 20.0});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.median(), 3.0);
+  // The merged-into CDF is equivalent to one built from all samples at once.
+  Cdf all;
+  all.add_all(std::vector<double>{1.0, 2.0, 3.0, 10.0, 20.0});
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << q;
+  }
+  // The source is untouched.
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(CdfTest, MergeEmptyIsNoOp) {
+  Cdf a;
+  a.add(4.0);
+  a.merge(Cdf{});
+  EXPECT_EQ(a.size(), 1u);
+  Cdf empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_DOUBLE_EQ(empty.median(), 4.0);
+}
+
 TEST(LogHistogramTest, BinBoundaries) {
   LogHistogram h{1.0, 10.0, 5};  // [1,10), [10,100), ...
   EXPECT_EQ(h.bin_of(0.5), 0u);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 #include "fbdcsim/topology/standard_fleet.h"
 
 namespace fbdcsim::monitoring {
@@ -209,6 +213,87 @@ TEST(FbflowPipelineTest, PacketModeSamples) {
   pkt.frame_bytes = 100;
   for (int i = 0; i < 10'000; ++i) pipeline.offer_packet(core::HostId{0}, pkt);
   EXPECT_NEAR(static_cast<double>(pipeline.scuba().size()), 1000.0, 10.0);
+}
+
+TEST(FbflowPipelineTest, SamplingIndependentOfCrossHostInterleaving) {
+  // The determinism contract behind parallel fleet runs: each reporter host
+  // samples from its own forked stream, so host A's samples are the same
+  // whether A's flows arrive grouped or interleaved with host B's.
+  const topology::Fleet fleet = small_fleet();
+  const core::HostId a{0}, b{1}, dst{5};
+  const auto flow_a = flow_between(fleet, a, dst, 10'000'000, 10'000);
+  const auto flow_b = flow_between(fleet, b, dst, 10'000'000, 10'000);
+
+  FbflowPipeline interleaved{fleet, 100, core::RngStream{7}};
+  for (int i = 0; i < 4; ++i) {
+    interleaved.offer_flow(flow_a);
+    interleaved.offer_flow(flow_b);
+  }
+  FbflowPipeline grouped{fleet, 100, core::RngStream{7}};
+  for (int i = 0; i < 4; ++i) grouped.offer_flow(flow_a);
+  for (int i = 0; i < 4; ++i) grouped.offer_flow(flow_b);
+
+  // Per-host sample sequences must match exactly (timestamps and bytes).
+  const auto rows_for = [](const FbflowPipeline& p, core::HostId reporter) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> rows;
+    for (const TaggedSample& row : p.scuba().rows()) {
+      if (row.src_host == reporter) {
+        rows.emplace_back(row.sample.captured_at.count_nanos(), row.sample.frame_bytes);
+      }
+    }
+    return rows;
+  };
+  for (const core::HostId host : {a, b}) {
+    const auto lhs = rows_for(interleaved, host);
+    const auto rhs = rows_for(grouped, host);
+    ASSERT_FALSE(lhs.empty());
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(FbflowPipelineTest, MergeReproducesSerialPipeline) {
+  // Two shard pipelines (same seed, disjoint reporter hosts) merged in
+  // shard order match a serial pipeline fed the grouped flow stream.
+  const topology::Fleet fleet = small_fleet();
+  const core::HostId a{0}, b{1}, dst{5};
+  const auto flow_a = flow_between(fleet, a, dst, 10'000'000, 10'000);
+  const auto flow_b = flow_between(fleet, b, dst, 10'000'000, 10'000);
+
+  FbflowPipeline serial{fleet, 100, core::RngStream{7}};
+  for (int i = 0; i < 4; ++i) serial.offer_flow(flow_a);
+  for (int i = 0; i < 4; ++i) serial.offer_flow(flow_b);
+
+  FbflowPipeline shard_a{fleet, 100, core::RngStream{7}};
+  for (int i = 0; i < 4; ++i) shard_a.offer_flow(flow_a);
+  FbflowPipeline shard_b{fleet, 100, core::RngStream{7}};
+  for (int i = 0; i < 4; ++i) shard_b.offer_flow(flow_b);
+  shard_a.merge(shard_b);
+
+  ASSERT_EQ(shard_a.scuba().size(), serial.scuba().size());
+  const auto merged_rows = shard_a.scuba().rows();
+  const auto serial_rows = serial.scuba().rows();
+  for (std::size_t i = 0; i < merged_rows.size(); ++i) {
+    EXPECT_EQ(merged_rows[i].sample.captured_at.count_nanos(),
+              serial_rows[i].sample.captured_at.count_nanos())
+        << i;
+    EXPECT_EQ(merged_rows[i].sample.frame_bytes, serial_rows[i].sample.frame_bytes) << i;
+    EXPECT_EQ(merged_rows[i].src_host, serial_rows[i].src_host) << i;
+  }
+  EXPECT_EQ(shard_a.scribe().published(), serial.scribe().published());
+  EXPECT_EQ(shard_a.tag_failures(), serial.tag_failures());
+
+  const auto merged_loc = shard_a.scuba().locality_bytes(100);
+  const auto serial_loc = serial.scuba().locality_bytes(100);
+  for (int l = 0; l < core::kNumLocalities; ++l) {
+    EXPECT_EQ(merged_loc.bytes[l], serial_loc.bytes[l]) << l;
+  }
+}
+
+TEST(FbflowPipelineTest, MergeRejectsMismatchedSamplingRates) {
+  const topology::Fleet fleet = small_fleet();
+  FbflowPipeline a{fleet, 100, core::RngStream{7}};
+  const FbflowPipeline b{fleet, 200, core::RngStream{7}};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Determinism regression suite for the parallel fleet runner: the parallel
+// stream must be bit-identical to the serial FleetFlowGenerator::generate
+// for every worker count and shard size, and so must every aggregate built
+// from it (the Table 3 locality matrix above all).
+#include "fbdcsim/runtime/sharded_fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fbdcsim/monitoring/fbflow.h"
+#include "fbdcsim/runtime/parallel_capture.h"
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::runtime {
+namespace {
+
+using core::FlowRecord;
+
+topology::Fleet runner_fleet() {
+  topology::StandardFleetConfig cfg;
+  cfg.sites = 2;
+  cfg.datacenters_per_site = 1;
+  cfg.frontend_clusters = 2;
+  cfg.cache_clusters = 1;
+  cfg.hadoop_clusters = 1;
+  cfg.database_clusters = 1;
+  cfg.service_clusters = 1;
+  cfg.racks_per_cluster = 8;
+  cfg.hosts_per_rack = 4;
+  cfg.frontend_web_racks = 5;
+  cfg.frontend_cache_racks = 2;
+  cfg.frontend_multifeed_racks = 1;
+  return topology::build_standard_fleet(cfg);
+}
+
+workload::FleetGenConfig runner_config() {
+  workload::FleetGenConfig cfg;
+  cfg.horizon = core::Duration::hours(1);
+  cfg.epoch = core::Duration::minutes(30);
+  cfg.seed = 19;
+  // Keep the sampled-header volume (and the test's runtime) small.
+  cfg.rate_scale = 0.001;
+  return cfg;
+}
+
+void expect_identical(const std::vector<FlowRecord>& a, const std::vector<FlowRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].tuple, b[i].tuple) << "flow " << i;
+    ASSERT_EQ(a[i].src_host, b[i].src_host) << "flow " << i;
+    ASSERT_EQ(a[i].dst_host, b[i].dst_host) << "flow " << i;
+    ASSERT_EQ(a[i].start.count_nanos(), b[i].start.count_nanos()) << "flow " << i;
+    ASSERT_EQ(a[i].duration.count_nanos(), b[i].duration.count_nanos()) << "flow " << i;
+    ASSERT_EQ(a[i].bytes.count_bytes(), b[i].bytes.count_bytes()) << "flow " << i;
+    ASSERT_EQ(a[i].packets, b[i].packets) << "flow " << i;
+  }
+}
+
+TEST(ShardedFleetRunnerTest, StreamMatchesSerialForEveryWorkerCount) {
+  const topology::Fleet fleet = runner_fleet();
+  const workload::FleetFlowGenerator gen{fleet, runner_config()};
+
+  std::vector<FlowRecord> serial;
+  gen.generate([&](const FlowRecord& f) { serial.push_back(f); });
+  ASSERT_FALSE(serial.empty());
+
+  for (const int workers : {1, 2, 8}) {
+    ThreadPool pool{workers};
+    const ShardedFleetRunner runner{gen, pool};
+    const auto parallel = runner.collect_flows();
+    SCOPED_TRACE(workers);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ShardedFleetRunnerTest, ShardSizeDoesNotChangeTheStream) {
+  const topology::Fleet fleet = runner_fleet();
+  const workload::FleetFlowGenerator gen{fleet, runner_config()};
+  ThreadPool pool{4};
+
+  std::vector<FlowRecord> serial;
+  gen.generate([&](const FlowRecord& f) { serial.push_back(f); });
+
+  for (const std::size_t shard_size : {std::size_t{1}, std::size_t{7}, std::size_t{512}}) {
+    ShardOptions opts;
+    opts.shard_size = shard_size;
+    const ShardedFleetRunner runner{gen, pool, opts};
+    SCOPED_TRACE(shard_size);
+    expect_identical(serial, runner.collect_flows());
+  }
+}
+
+TEST(ShardedFleetRunnerTest, LocalityMatrixBitIdenticalAcrossWorkerCounts) {
+  // The acceptance gate: the Table 3 pipeline (flows -> Fbflow sampling ->
+  // Scuba locality query) lands on byte-for-byte identical aggregates no
+  // matter how many workers generated the flows.
+  const topology::Fleet fleet = runner_fleet();
+  const workload::FleetFlowGenerator gen{fleet, runner_config()};
+
+  monitoring::FbflowPipeline serial_pipe{fleet, 1'000, core::RngStream{99}};
+  double serial_bytes = 0.0;
+  std::int64_t serial_flows = 0;
+  gen.generate([&](const FlowRecord& f) {
+    serial_pipe.offer_flow(f);
+    serial_bytes += static_cast<double>(f.bytes.count_bytes());
+    ++serial_flows;
+  });
+  const auto serial_locality = serial_pipe.scuba().locality_bytes(1'000);
+  ASSERT_GT(serial_pipe.scuba().size(), 0u);
+
+  for (const int workers : {1, 2, 8}) {
+    SCOPED_TRACE(workers);
+    ThreadPool pool{workers};
+    const ShardedFleetRunner runner{gen, pool};
+    monitoring::FbflowPipeline pipe{fleet, 1'000, core::RngStream{99}};
+    double bytes = 0.0;
+    std::int64_t flows = 0;
+    runner.stream([&](const FlowRecord& f) {
+      pipe.offer_flow(f);
+      bytes += static_cast<double>(f.bytes.count_bytes());
+      ++flows;
+    });
+    EXPECT_EQ(flows, serial_flows);
+    // Byte totals accumulate in the identical order -> identical doubles.
+    EXPECT_EQ(bytes, serial_bytes);
+    ASSERT_EQ(pipe.scuba().size(), serial_pipe.scuba().size());
+    const auto locality = pipe.scuba().locality_bytes(1'000);
+    for (int l = 0; l < core::kNumLocalities; ++l) {
+      EXPECT_EQ(locality.bytes[l], serial_locality.bytes[l]) << "locality " << l;
+    }
+  }
+}
+
+TEST(ShardedFleetRunnerTest, SinkExceptionPropagates) {
+  const topology::Fleet fleet = runner_fleet();
+  const workload::FleetFlowGenerator gen{fleet, runner_config()};
+  ThreadPool pool{4};
+  const ShardedFleetRunner runner{gen, pool};
+
+  std::int64_t seen = 0;
+  EXPECT_THROW(runner.stream([&](const FlowRecord&) {
+    if (++seen == 100) throw std::runtime_error{"sink failed"};
+  }),
+               std::runtime_error);
+
+  // The runner and pool stay usable after the failure.
+  const auto flows = runner.collect_flows();
+  EXPECT_FALSE(flows.empty());
+}
+
+TEST(ParallelCaptureRunnerTest, ResultsArriveInTaskOrder) {
+  ThreadPool pool{4};
+  const ParallelCaptureRunner capture{pool};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([i] { return i * 10; });
+  }
+  const auto results = capture.run(tasks);
+  ASSERT_EQ(results.size(), tasks.size());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(ParallelCaptureRunnerTest, TaskExceptionPropagates) {
+  ThreadPool pool{2};
+  const ParallelCaptureRunner capture{pool};
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 1; });
+  tasks.push_back([]() -> int { throw std::runtime_error{"capture failed"}; });
+  EXPECT_THROW((void)capture.run(tasks), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fbdcsim::runtime
