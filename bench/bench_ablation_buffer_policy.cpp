@@ -48,6 +48,7 @@ PolicyResult run_policy(const topology::Fleet& fleet, double alpha,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"ablation_buffer_policy"};
   bench::banner("Ablation: shared-buffer admission policy (DT alpha sweep)",
                 "Section 6.3's buffer-tuning discussion");
   const topology::Fleet fleet = workload::build_rack_experiment_fleet();

@@ -45,6 +45,7 @@ Metrics analyze(const bench::RoleTrace& trace, double capture_sec) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"ablation_conn_pooling"};
   bench::banner("Ablation: connection pooling on vs off", "Section 5.1's causal mechanism");
   bench::BenchEnv env;
   const double capture_sec = static_cast<double>(bench::BenchEnv::effective_seconds(8));

@@ -40,6 +40,7 @@ Metrics analyze(const bench::RoleTrace& trace, const analysis::AddrResolver& res
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"ablation_hot_objects"};
   bench::banner("Ablation: hot-object mitigation on vs off",
                 "Section 5.2's load-management mechanism");
   bench::BenchEnv env;

@@ -42,6 +42,7 @@ Metrics analyze(const bench::RoleTrace& trace, const analysis::AddrResolver& res
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"ablation_load_balancing"};
   bench::banner("Ablation: user-request load balancing on vs off",
                 "Section 5.2's causal mechanism");
   bench::BenchEnv env;

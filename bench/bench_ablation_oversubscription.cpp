@@ -41,6 +41,7 @@ topology::Fleet sweep_fleet() {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"ablation_oversubscription"};
   bench::banner("Ablation: RSW->CSW oversubscription sweep", "Section 4.4");
   const topology::Fleet fleet = sweep_fleet();
   std::printf("fleet: %zu hosts, 32 hosts/rack, 4 uplinks/rack\n", fleet.num_hosts());

@@ -15,6 +15,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"ablation_sampling_rate"};
   bench::banner("Ablation: Fbflow sampling-rate sweep vs locality-matrix fidelity",
                 "Section 3.3.1 methodology validation");
 

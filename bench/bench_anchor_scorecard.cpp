@@ -42,6 +42,7 @@ void check(std::string section, std::string claim, double lo, double hi, double 
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"anchor_scorecard"};
   bench::banner("Anchor scorecard: the paper's prose claims, checked automatically",
                 "Sections 4-6");
   bench::BenchEnv env;
@@ -207,5 +208,6 @@ int main() {
                 a.measured, a.lo, a.hi, a.pass() ? "PASS" : "FAIL");
   }
   std::printf("\n%zu anchors, %d failed\n", anchors.size(), failed);
+  report.set_status(failed);
   return failed;
 }

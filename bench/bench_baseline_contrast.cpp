@@ -38,6 +38,7 @@ Metrics analyze(const std::vector<core::PacketHeader>& trace, core::Ipv4Addr sel
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"baseline_contrast"};
   bench::banner("Table 1 contrast: Facebook-style workload vs prior literature",
                 "Table 1, Sections 4-6");
   bench::BenchEnv env;

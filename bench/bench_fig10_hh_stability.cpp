@@ -44,6 +44,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig10_hh_stability"};
   bench::banner("Figure 10: heavy-hitter persistence across intervals",
                 "Figure 10, Section 5.3");
   bench::BenchEnv env;

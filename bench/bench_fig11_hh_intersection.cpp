@@ -49,6 +49,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig11_hh_intersection"};
   bench::banner("Figure 11: heavy hitters of subintervals vs enclosing second",
                 "Figure 11, Section 5.3");
   bench::BenchEnv env;

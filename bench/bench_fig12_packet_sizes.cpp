@@ -10,6 +10,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"fig12_packet_sizes"};
   bench::banner("Figure 12: packet size distribution by host type",
                 "Figure 12, Section 6.1");
   bench::BenchEnv env;

@@ -23,6 +23,7 @@ void print_bins(const char* label, const std::vector<std::int64_t>& counts,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig13_arrival_pattern"};
   bench::banner("Figure 13: Hadoop packet arrivals are not ON/OFF",
                 "Figure 13, Section 6.2");
   bench::BenchEnv env;

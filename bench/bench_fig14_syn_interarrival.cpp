@@ -9,6 +9,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"fig14_syn_interarrival"};
   bench::banner("Figure 14: flow (SYN) inter-arrival by host type",
                 "Figure 14, Section 6.2");
   bench::BenchEnv env;

@@ -78,6 +78,7 @@ void run_rack(const char* name, const topology::Fleet& fleet, core::HostRole rol
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig15_buffer_occupancy"};
   bench::banner("Figure 15: buffer occupancy, utilization, and drops over a day",
                 "Figure 15, Section 6.3");
   const topology::Fleet fleet = workload::build_rack_experiment_fleet();

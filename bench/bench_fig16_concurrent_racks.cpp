@@ -25,6 +25,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig16_concurrent_racks"};
   bench::banner("Figure 16: concurrent (5-ms) rack-level flows", "Figure 16, Section 6.4");
   bench::BenchEnv env;
 

@@ -25,6 +25,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig17_concurrent_hh_racks"};
   bench::banner("Figure 17: concurrent (5-ms) heavy-hitter racks",
                 "Figure 17, Section 6.4");
   bench::BenchEnv env;

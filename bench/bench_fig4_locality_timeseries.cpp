@@ -34,6 +34,7 @@ void print_series(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig4_locality_timeseries"};
   bench::banner("Figure 4: per-second traffic locality by system type",
                 "Figure 4, Section 4.2");
   bench::BenchEnv env;

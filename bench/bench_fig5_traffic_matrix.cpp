@@ -66,6 +66,7 @@ double diagonal_share(const std::vector<std::vector<double>>& m) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig5_traffic_matrix"};
   bench::banner("Figure 5: rack-to-rack and cluster-to-cluster traffic matrices",
                 "Figure 5, Section 4.3");
 

@@ -35,6 +35,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig6_flow_sizes"};
   bench::banner("Figure 6: flow size distribution by destination locality",
                 "Figure 6, Section 5.1");
   bench::BenchEnv env;

@@ -36,6 +36,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig7_flow_durations"};
   bench::banner("Figure 7: flow duration distribution by destination locality",
                 "Figure 7, Section 5.1");
   bench::BenchEnv env;

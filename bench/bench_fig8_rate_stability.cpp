@@ -34,6 +34,7 @@ void print_per_second_spread(const char* name, const analysis::PerRackRates& rat
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig8_rate_stability"};
   bench::banner("Figure 8: per-destination-rack flow rates and stability",
                 "Figure 8, Section 5.2");
   bench::BenchEnv env;

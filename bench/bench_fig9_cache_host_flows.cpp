@@ -10,6 +10,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"fig9_cache_host_flows"};
   bench::banner("Figure 9: cache follower per-destination-host flow size",
                 "Figure 9, Section 5.1");
   bench::BenchEnv env;

@@ -80,8 +80,9 @@ int compare(const RunResult& ref, const RunResult& got, int workers) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"runtime_scaling", 2015};
   bench::banner("Runtime scaling: serial vs sharded parallel fleet generation",
-                "Section 3.3.1 methodology; runtime/ subsystem check");
+                "Section 3.3.1 methodology; runtime/ subsystem check", 2015);
 
   const topology::Fleet fleet = workload::build_fleet_experiment_fleet();
   workload::FleetGenConfig cfg;
@@ -138,5 +139,6 @@ int main() {
                 "is not demonstrable on this machine (equivalence still checked)\n",
                 hw);
   }
+  report.set_status(mismatches);
   return mismatches;
 }

@@ -34,6 +34,7 @@ void print_level(const char* name, std::vector<double> utils) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"sec41_utilization"};
   bench::banner("Section 4.1: link utilization across the hierarchy", "Section 4.1");
 
   // Production-depth racks (~32 hosts) so the RSW->CSW oversubscription is

@@ -80,6 +80,7 @@ void report(const char* name, const monitoring::HiveRollup& rollup) {
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report{"sec43_day_stability"};
   bench::banner("Section 4.3: day-over-day traffic-matrix stability",
                 "Section 4.3 (Hive rollups over Fbflow samples)");
   const topology::Fleet fleet = workload::build_fleet_experiment_fleet();

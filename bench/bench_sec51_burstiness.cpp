@@ -30,6 +30,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"sec51_burstiness"};
   bench::banner("Section 5.1: intra-flow burstiness", "Section 5.1 (and Kapoor et al.)");
   bench::BenchEnv env;
 

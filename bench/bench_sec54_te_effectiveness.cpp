@@ -46,6 +46,7 @@ void print_panel(const char* name, const bench::RoleTrace& trace,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"sec54_te_effectiveness"};
   bench::banner("Section 5.4: reactive heavy-hitter TE effectiveness",
                 "Section 5.4's implications for traffic engineering");
   bench::BenchEnv env;

@@ -10,6 +10,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"table2_service_breakdown"};
   bench::banner("Table 2: outbound traffic percentage by destination service",
                 "Table 2, Section 3.2");
   bench::BenchEnv env;

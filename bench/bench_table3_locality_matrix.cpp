@@ -15,6 +15,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"table3_locality_matrix"};
   bench::banner("Table 3: traffic locality by cluster type (24-hour Fbflow view)",
                 "Table 3, Section 4.3");
 

@@ -10,6 +10,7 @@
 using namespace fbdcsim;
 
 int main() {
+  bench::BenchReport report{"table4_heavy_hitters"};
   bench::banner("Table 4: heavy hitters in 1-ms intervals", "Table 4, Section 5.3");
   bench::BenchEnv env;
 

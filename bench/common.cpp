@@ -1,36 +1,44 @@
 #include "common.h"
 
+#include <sys/stat.h>
+
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "fbdcsim/runtime/parallel_capture.h"
 
+#ifndef FBDCSIM_GIT_REV
+#define FBDCSIM_GIT_REV "unknown"
+#endif
+
 namespace fbdcsim::bench {
 
-std::int64_t BenchEnv::effective_seconds(std::int64_t nominal) {
-  if (const char* env = std::getenv("FBDCSIM_BENCH_SECONDS")) {
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end == env || *end != '\0') {
-      std::fprintf(stderr,
-                   "FBDCSIM_BENCH_SECONDS='%s' is not an integer; using the nominal "
-                   "%lld s\n",
-                   env, static_cast<long long>(nominal));
-      return nominal;
-    }
-    if (v <= 0) {
-      std::fprintf(stderr,
-                   "FBDCSIM_BENCH_SECONDS=%lld must be positive; using the nominal "
-                   "%lld s\n",
-                   v, static_cast<long long>(nominal));
-      return nominal;
-    }
-    return v;
+const char* git_revision() { return FBDCSIM_GIT_REV; }
+
+std::optional<std::int64_t> bench_seconds_env() {
+  const char* env = std::getenv("FBDCSIM_BENCH_SECONDS");
+  if (env == nullptr) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr, "FBDCSIM_BENCH_SECONDS='%s' is not an integer; ignoring it\n",
+                 env);
+    return std::nullopt;
   }
-  return nominal;
+  if (v <= 0) {
+    std::fprintf(stderr, "FBDCSIM_BENCH_SECONDS=%lld must be positive; ignoring it\n", v);
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::int64_t BenchEnv::effective_seconds(std::int64_t nominal) {
+  return bench_seconds_env().value_or(nominal);
 }
 
 RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Tweak& tweak) {
+  FBDCSIM_T_SPAN2(capture_span, "bench.capture", core::to_string(role));
   workload::RackSimConfig cfg = workload::default_rack_config(
       fleet_, role, core::Duration::seconds(effective_seconds(seconds)));
   if (tweak) tweak(cfg);
@@ -92,13 +100,130 @@ void print_cdf_table(const char* title, const std::vector<std::string>& names,
   }
 }
 
-void banner(const char* experiment, const char* paper_ref) {
+void banner(const char* experiment, const char* paper_ref, std::uint64_t seed) {
   std::printf("==================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("Reproduces: %s — 'Inside the Social Network's (Datacenter) Network'\n",
               paper_ref);
   std::printf("threads: %d (override with FBDCSIM_THREADS)\n", runtime::env_thread_count());
+  std::printf("seed: %llu | rev: %s\n", static_cast<unsigned long long>(seed),
+              git_revision());
   std::printf("==================================================================\n");
+}
+
+namespace {
+
+/// Resolves FBDCSIM_BENCH_OUT to a concrete path for `filename`.
+std::string resolve_out_path(const std::string& filename) {
+  const char* env = std::getenv("FBDCSIM_BENCH_OUT");
+  if (env == nullptr) return filename;
+  if (env[0] == '\0') {
+    std::fprintf(stderr, "FBDCSIM_BENCH_OUT is empty; writing %s to the working "
+                         "directory\n",
+                 filename.c_str());
+    return filename;
+  }
+  std::string base{env};
+  struct stat st{};
+  const bool is_dir =
+      base.back() == '/' || (::stat(base.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+  if (is_dir) {
+    if (base.back() != '/') base += '/';
+    return base + filename;
+  }
+  return base;  // an explicit file path (single-bench runs)
+}
+
+/// "foo.json" -> "foo.trace.json"; other extensions just get the suffix.
+std::string trace_path_for(const std::string& report_path) {
+  const std::string suffix = ".json";
+  if (report_path.size() > suffix.size() &&
+      report_path.compare(report_path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return report_path.substr(0, report_path.size() - suffix.size()) + ".trace.json";
+  }
+  return report_path + ".trace.json";
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name, std::uint64_t seed)
+    : name_{std::move(name)}, seed_{seed}, start_{std::chrono::steady_clock::now()} {}
+
+std::string BenchReport::report_path() const {
+  return resolve_out_path("bench_" + name_ + ".json");
+}
+
+std::string BenchReport::trace_path() const { return trace_path_for(report_path()); }
+
+std::string BenchReport::to_json() const {
+  const telemetry::Snapshot snap = telemetry::MetricsRegistry::global().snapshot();
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                    start_)
+                          .count();
+  std::string out = "{";
+  out += "\"bench\":\"" + telemetry::json_escape(name_) + "\"";
+  out += ",\"schema\":1";
+  out += ",\"git\":\"" + telemetry::json_escape(git_revision()) + "\"";
+  out += ",\"seed\":" + std::to_string(seed_);
+  out += ",\"threads\":" + std::to_string(runtime::env_thread_count());
+  if (const auto secs = bench_seconds_env()) {
+    out += ",\"bench_seconds\":" + std::to_string(*secs);
+  } else {
+    out += ",\"bench_seconds\":null";
+  }
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", wall);
+    out += ",\"wall_seconds\":";
+    out += buf;
+  }
+  out += ",\"status\":" + std::to_string(status_);
+  out += std::string{",\"telemetry_enabled\":"} +
+         (telemetry::Telemetry::enabled() ? "true" : "false");
+  // Derived rates for the headline metrics (null until their inputs exist).
+  out += ",\"derived\":{";
+  const auto* events = snap.counter("sim.events");
+  const auto* sim_wall = snap.counter("sim.run_wall_us");
+  if (events != nullptr && sim_wall != nullptr && sim_wall->value > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f",
+                  static_cast<double>(events->value) /
+                      (static_cast<double>(sim_wall->value) / 1e6));
+    out += "\"sim_events_per_sec\":";
+    out += buf;
+  } else {
+    out += "\"sim_events_per_sec\":null";
+  }
+  out += "},\"metrics\":" + telemetry::to_json(snap);
+  out += "}";
+  return out;
+}
+
+BenchReport::~BenchReport() {
+  const std::string path = report_path();
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string json = to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+  }
+
+  const auto events = telemetry::Tracer::global().events();
+  if (!events.empty()) {
+    const std::string tpath = trace_path();
+    if (std::FILE* f = std::fopen(tpath.c_str(), "w")) {
+      const std::string json = telemetry::to_chrome_trace(events);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::fprintf(stderr, "bench trace:  %s (load in chrome://tracing or "
+                           "https://ui.perfetto.dev)\n",
+                   tpath.c_str());
+    }
+  }
 }
 
 }  // namespace fbdcsim::bench

@@ -6,19 +6,71 @@
 // FBDCSIM_BENCH_SECONDS to lengthen or shorten all captures.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fbdcsim/analysis/resolver.h"
 #include "fbdcsim/core/stats.h"
 #include "fbdcsim/runtime/thread_pool.h"
+#include "fbdcsim/telemetry/export.h"
+#include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/workload/presets.h"
 
 namespace fbdcsim::bench {
+
+/// Seed used by the canonical rack-experiment captures
+/// (workload::default_rack_config); the banner's default.
+inline constexpr std::uint64_t kCanonicalSeed = 42;
+
+/// The source revision baked in at configure time ("unknown" outside git).
+[[nodiscard]] const char* git_revision();
+
+/// Machine-readable perf report, one per bench run. Declare it first in
+/// main() so its destructor — which snapshots the global MetricsRegistry,
+/// writes bench_<name>.json, and (when telemetry recorded spans) a
+/// Perfetto-loadable bench_<name>.trace.json — runs after every pool and
+/// simulator has shut down.
+///
+/// Output location comes from FBDCSIM_BENCH_OUT: unset writes to the
+/// working directory; a directory (trailing '/' or an existing one) places
+/// the default file names there; anything else is taken as the exact
+/// report file path. Malformed values are diagnosed on stderr and ignored,
+/// like FBDCSIM_BENCH_SECONDS.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, std::uint64_t seed = kCanonicalSeed);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  /// The exit status the bench is about to return (recorded in the JSON).
+  void set_status(int status) { status_ = status; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string report_path() const;
+  [[nodiscard]] std::string trace_path() const;
+
+  /// The report JSON (also what the destructor writes). Exposed for tests.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  int status_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// FBDCSIM_BENCH_SECONDS as a validated value (std::nullopt when unset or
+/// malformed; malformed values are diagnosed on stderr once per call).
+[[nodiscard]] std::optional<std::int64_t> bench_seconds_env();
 
 /// One monitored-host capture plus everything needed to analyze it.
 struct RoleTrace {
@@ -78,7 +130,10 @@ void print_cdf_table(const char* title, const std::vector<std::string>& names,
                      const std::vector<const core::Cdf*>& cdfs, double scale = 1.0,
                      const char* unit = "");
 
-/// Short banner shared by all benches.
-void banner(const char* experiment, const char* paper_ref);
+/// Short banner shared by all benches. Prints the seed and source revision
+/// so every bench log is attributable; pass the bench's own seed when it
+/// does not use the canonical captures.
+void banner(const char* experiment, const char* paper_ref,
+            std::uint64_t seed = kCanonicalSeed);
 
 }  // namespace fbdcsim::bench

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fbdcsim/runtime/thread_pool.h"
+#include "fbdcsim/telemetry/telemetry.h"
 
 namespace fbdcsim::runtime {
 
@@ -25,7 +26,10 @@ class ParallelCaptureRunner {
   /// after the whole batch has finished.
   template <typename R>
   [[nodiscard]] std::vector<R> run(const std::vector<std::function<R()>>& tasks) const {
-    return pool_->parallel_map(tasks, [](const std::function<R()>& task) { return task(); });
+    return pool_->parallel_map(tasks, [](const std::function<R()>& task) {
+      FBDCSIM_T_SPAN(task_span, "runtime.capture_task");
+      return task();
+    });
   }
 
   [[nodiscard]] int workers() const { return pool_->size(); }

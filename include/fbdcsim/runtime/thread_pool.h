@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -69,13 +70,20 @@ class ThreadPool {
   }
 
  private:
+  /// A queued task plus its enqueue wall time (microseconds; 0 when
+  /// telemetry is disabled) so workers can report queue-wait latency.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::int64_t enqueue_us{0};
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable task_ready_;   // signaled when the queue gains a task
   std::condition_variable space_ready_;  // signaled when the queue frees a slot
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::size_t max_queue_;
   bool stopping_{false};
 };

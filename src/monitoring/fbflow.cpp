@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fbdcsim/core/units.h"
+#include "fbdcsim/telemetry/telemetry.h"
 
 namespace fbdcsim::monitoring {
 
@@ -200,11 +201,17 @@ FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampli
       packet_sampler_{sampling_rate, packet_rng_},
       tagger_{fleet} {
   scribe_.subscribe([this](const SampledPacket& s) {
+    FBDCSIM_T_COUNTER(published, "fbflow.scribe.published", Sim);
+    FBDCSIM_T_ADD(published, 1);
     TaggedSample tagged;
     if (tagger_.tag(s, tagged)) {
       scuba_.add(tagged);
+      FBDCSIM_T_COUNTER(landed, "fbflow.scuba.rows", Sim);
+      FBDCSIM_T_ADD(landed, 1);
     } else {
       ++tag_failures_;
+      FBDCSIM_T_COUNTER(failures, "fbflow.tag_failures", Sim);
+      FBDCSIM_T_ADD(failures, 1);
     }
   });
 }
@@ -219,6 +226,8 @@ AnalyticSampler& FbflowPipeline::sampler_for(core::HostId reporter) {
 }
 
 void FbflowPipeline::offer_flow(const core::FlowRecord& flow) {
+  FBDCSIM_T_COUNTER(offered, "fbflow.flows_offered", Sim);
+  FBDCSIM_T_ADD(offered, 1);
   sampler_for(flow.src_host)
       .sample_flow(flow, [this](const SampledPacket& s) { scribe_.publish(s); });
 }
@@ -233,6 +242,8 @@ void FbflowPipeline::merge(const FbflowPipeline& other) {
 }
 
 void FbflowPipeline::offer_packet(core::HostId reporter, const core::PacketHeader& header) {
+  FBDCSIM_T_COUNTER(seen, "fbflow.packets_seen", Sim);
+  FBDCSIM_T_ADD(seen, 1);
   if (!packet_sampler_.sample()) return;
   SampledPacket s;
   s.captured_at = header.timestamp;

@@ -5,6 +5,9 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
+
+#include "fbdcsim/telemetry/telemetry.h"
 
 namespace fbdcsim::runtime {
 
@@ -21,6 +24,7 @@ std::size_t ShardedFleetRunner::num_shards() const {
 }
 
 void ShardedFleetRunner::stream(const workload::FleetFlowGenerator::Visit& sink) const {
+  FBDCSIM_T_SPAN(stream_span, "fleet.stream");
   const auto& hosts = gen_->fleet().hosts();
   const std::size_t n = hosts.size();
   if (n == 0) return;
@@ -79,6 +83,7 @@ void ShardedFleetRunner::stream(const workload::FleetFlowGenerator::Visit& sink)
       const std::size_t lo = i * shard;
       const std::size_t hi = std::min(n, lo + shard);
       pool_->post([&st, &hosts, gen = gen_, lo, hi, i] {
+        FBDCSIM_T_SPAN2(shard_span, "fleet.shard", std::to_string(i));
         auto buf = std::make_unique<std::vector<core::FlowRecord>>();
         std::exception_ptr err;
         try {

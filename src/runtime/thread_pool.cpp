@@ -7,7 +7,23 @@
 #include <limits>
 #include <utility>
 
+#include "fbdcsim/telemetry/telemetry.h"
+
+#if FBDCSIM_TELEMETRY_ENABLED
+#include <chrono>
+#endif
+
 namespace fbdcsim::runtime {
+
+#if FBDCSIM_TELEMETRY_ENABLED
+namespace {
+std::int64_t wall_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+#endif
 
 int env_thread_count() {
   if (const char* env = std::getenv("FBDCSIM_THREADS")) {
@@ -27,6 +43,8 @@ int env_thread_count() {
 
 ThreadPool::ThreadPool(int workers) {
   const int n = std::max(1, workers);
+  FBDCSIM_T_GAUGE(workers_gauge, "runtime.pool.workers", Wall);
+  FBDCSIM_T_MAX(workers_gauge, n);
   // Enough backlog that posters rarely stall, small enough that a runaway
   // producer is throttled rather than buffered without bound.
   max_queue_ = std::max<std::size_t>(static_cast<std::size_t>(n) * 4, 64);
@@ -46,28 +64,65 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  QueuedTask queued{std::move(task), 0};
+#if FBDCSIM_TELEMETRY_ENABLED
+  FBDCSIM_T_COUNTER(posted, "runtime.pool.tasks_posted", Sim);
+  FBDCSIM_T_GAUGE(queue_peak, "runtime.pool.queue_peak", Wall);
+  if (telemetry::Telemetry::enabled()) queued.enqueue_us = wall_us();
+#endif
   {
     std::unique_lock<std::mutex> lk{mu_};
     space_ready_.wait(lk, [this] { return queue_.size() < max_queue_ || stopping_; });
     if (stopping_) return;  // racing a destructor; drop the task
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
+#if FBDCSIM_TELEMETRY_ENABLED
+    FBDCSIM_T_ADD(posted, 1);
+    FBDCSIM_T_MAX(queue_peak, static_cast<std::int64_t>(queue_.size()));
+#endif
   }
   task_ready_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+#if FBDCSIM_TELEMETRY_ENABLED
+  FBDCSIM_T_COUNTER(completed, "runtime.pool.tasks_completed", Sim);
+  FBDCSIM_T_HISTOGRAM(wait_hist, "runtime.pool.task_wait_us", Wall);
+  FBDCSIM_T_HISTOGRAM(run_hist, "runtime.pool.task_run_us", Wall);
+  std::int64_t busy_us = 0;
+#endif
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lk{mu_};
       task_ready_.wait(lk, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) return;  // stopping, queue drained
+      if (queue_.empty()) break;  // stopping, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     space_ready_.notify_one();
-    task();
+#if FBDCSIM_TELEMETRY_ENABLED
+    std::int64_t started_us = 0;
+    if (telemetry::Telemetry::enabled()) {
+      started_us = wall_us();
+      if (task.enqueue_us > 0) FBDCSIM_T_OBSERVE(wait_hist, started_us - task.enqueue_us);
+    }
+#endif
+    task.fn();
+#if FBDCSIM_TELEMETRY_ENABLED
+    if (started_us > 0) {
+      const std::int64_t ran_us = wall_us() - started_us;
+      FBDCSIM_T_OBSERVE(run_hist, ran_us);
+      FBDCSIM_T_ADD(completed, 1);
+      busy_us += ran_us;
+    }
+#endif
   }
+#if FBDCSIM_TELEMETRY_ENABLED
+  // Per-worker busy time, recorded when the pool shuts down; the spread
+  // across workers is the pool's load balance.
+  FBDCSIM_T_HISTOGRAM(busy_hist, "runtime.pool.worker_busy_us", Wall);
+  FBDCSIM_T_OBSERVE(busy_hist, busy_us);
+#endif
 }
 
 void ThreadPool::parallel_for_each(std::size_t count,

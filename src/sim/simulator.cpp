@@ -2,7 +2,53 @@
 
 #include <stdexcept>
 
+#include "fbdcsim/telemetry/telemetry.h"
+
+#if FBDCSIM_TELEMETRY_ENABLED
+#include <chrono>
+#endif
+
 namespace fbdcsim::sim {
+
+#if FBDCSIM_TELEMETRY_ENABLED
+namespace {
+
+/// Accounts one run()/run_until() call: events executed (deterministic)
+/// and the wall time the loop took. sim.events / (sim.run_wall_us / 1e6)
+/// is the event loop's aggregate throughput.
+class RunMetricsScope {
+ public:
+  explicit RunMetricsScope(const std::uint64_t& executed)
+      : executed_{&executed}, start_events_{executed} {
+    if (!telemetry::Telemetry::enabled()) return;
+    armed_ = true;
+    start_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  }
+
+  ~RunMetricsScope() {
+    if (!armed_) return;
+    FBDCSIM_T_COUNTER(events, "sim.events", Sim);
+    FBDCSIM_T_COUNTER(runs, "sim.runs", Sim);
+    FBDCSIM_T_COUNTER(wall, "sim.run_wall_us", Wall);
+    const std::int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now().time_since_epoch())
+                                    .count();
+    FBDCSIM_T_ADD(events, static_cast<std::int64_t>(*executed_ - start_events_));
+    FBDCSIM_T_ADD(runs, 1);
+    FBDCSIM_T_ADD(wall, now_us - start_us_);
+  }
+
+ private:
+  const std::uint64_t* executed_;
+  std::uint64_t start_events_;
+  bool armed_{false};
+  std::int64_t start_us_{0};
+};
+
+}  // namespace
+#endif
 
 void Simulator::schedule_at(TimePoint at, Action action) {
   if (at < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
@@ -10,6 +56,9 @@ void Simulator::schedule_at(TimePoint at, Action action) {
 }
 
 void Simulator::run_until(TimePoint horizon) {
+#if FBDCSIM_TELEMETRY_ENABLED
+  RunMetricsScope metrics{executed_};
+#endif
   while (!queue_.empty() && queue_.top().at <= horizon) {
     // priority_queue::top() is const; moving the action out requires a cast.
     // The pop immediately after makes this safe.
@@ -23,6 +72,9 @@ void Simulator::run_until(TimePoint horizon) {
 }
 
 void Simulator::run() {
+#if FBDCSIM_TELEMETRY_ENABLED
+  RunMetricsScope metrics{executed_};
+#endif
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();

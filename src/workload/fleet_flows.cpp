@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fbdcsim/telemetry/telemetry.h"
+
+#if FBDCSIM_TELEMETRY_ENABLED
+#include <array>
+#include <cctype>
+#include <string>
+#endif
+
 namespace fbdcsim::workload {
 
 namespace {
@@ -16,6 +24,23 @@ using services::Scope;
 double lognormal_mean(DataSize median, double sigma) {
   return static_cast<double>(median.count_bytes()) * std::exp(sigma * sigma / 2.0);
 }
+
+#if FBDCSIM_TELEMETRY_ENABLED
+/// Per-role generated-flow counters ("fleet.flows.web", ...), created once.
+telemetry::Counter& role_flow_counter(HostRole role) {
+  static const std::array<telemetry::Counter*, 8> counters = [] {
+    std::array<telemetry::Counter*, 8> out{};
+    for (std::size_t r = 0; r < out.size(); ++r) {
+      std::string name = std::string{"fleet.flows."} + core::to_string(static_cast<HostRole>(r));
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+      out[r] = &telemetry::MetricsRegistry::global().counter(name, telemetry::Kind::kSim);
+    }
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(role)];
+}
+#endif
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -320,10 +345,30 @@ void FleetFlowGenerator::emit_component(HostId src, const Component& comp,
 }
 
 void FleetFlowGenerator::generate_for_host(HostId host, const Visit& visit) const {
+  const core::HostRole role = fleet_->host(host).role;
   const core::RngStream root{config_.seed};
   core::RngStream rng = root.fork("fleet-host", host.value());
-  const auto comps = components_for(fleet_->host(host).role);
+  const auto comps = components_for(role);
   const std::int64_t epochs = config_.horizon / config_.epoch;
+#if FBDCSIM_TELEMETRY_ENABLED
+  if (telemetry::Telemetry::enabled()) {
+    // Count this host's flows locally and fold them into the fleet-wide
+    // per-role counters once, so the per-flow path stays allocation- and
+    // contention-free.
+    std::int64_t emitted = 0;
+    const Visit counted = [&](const core::FlowRecord& f) {
+      ++emitted;
+      visit(f);
+    };
+    for (std::int64_t e = 0; e < epochs; ++e) {
+      for (const Component& c : comps) emit_component(host, c, e, rng, counted);
+    }
+    FBDCSIM_T_COUNTER(total, "fleet.flows", Sim);
+    FBDCSIM_T_ADD(total, emitted);
+    role_flow_counter(role).add(emitted);
+    return;
+  }
+#endif
   for (std::int64_t e = 0; e < epochs; ++e) {
     for (const Component& c : comps) emit_component(host, c, e, rng, visit);
   }
