@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -20,8 +21,9 @@ std::optional<std::int64_t> bench_seconds_env() {
   const char* env = std::getenv("FBDCSIM_BENCH_SECONDS");
   if (env == nullptr) return std::nullopt;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(env, &end, 10);
-  if (end == env || *end != '\0') {
+  if (end == env || *end != '\0' || errno == ERANGE) {
     std::fprintf(stderr, "FBDCSIM_BENCH_SECONDS='%s' is not an integer; ignoring it\n",
                  env);
     return std::nullopt;
@@ -54,6 +56,17 @@ RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Twe
 runtime::ThreadPool& BenchEnv::pool() {
   if (!pool_) pool_ = std::make_unique<runtime::ThreadPool>();
   return *pool_;
+}
+
+const faults::FaultPlan* BenchEnv::fault_plan() {
+  if (!fault_plan_resolved_) {
+    fault_plan_resolved_ = true;
+    const faults::FaultConfig cfg = faults::fault_config_from_env();
+    if (cfg.profile != faults::Profile::kOff) {
+      fault_plan_ = std::make_unique<faults::FaultPlan>(cfg);
+    }
+  }
+  return fault_plan_.get();
 }
 
 std::vector<RoleTrace> BenchEnv::capture_all(std::vector<CaptureSpec> specs) {
@@ -108,12 +121,15 @@ void banner(const char* experiment, const char* paper_ref, std::uint64_t seed) {
   std::printf("threads: %d (override with FBDCSIM_THREADS)\n", runtime::env_thread_count());
   std::printf("seed: %llu | rev: %s\n", static_cast<unsigned long long>(seed),
               git_revision());
+  // Only announce faults when a profile is active, so fault-free bench
+  // output stays byte-identical to pre-fault-layer runs.
+  const faults::FaultConfig fc = faults::fault_config_from_env();
+  if (fc.profile != faults::Profile::kOff) {
+    std::printf("faults: %s (FBDCSIM_FAULTS)\n", faults::to_string(fc.profile));
+  }
   std::printf("==================================================================\n");
 }
 
-namespace {
-
-/// Resolves FBDCSIM_BENCH_OUT to a concrete path for `filename`.
 std::string resolve_out_path(const std::string& filename) {
   const char* env = std::getenv("FBDCSIM_BENCH_OUT");
   if (env == nullptr) return filename;
@@ -133,6 +149,8 @@ std::string resolve_out_path(const std::string& filename) {
   }
   return base;  // an explicit file path (single-bench runs)
 }
+
+namespace {
 
 /// "foo.json" -> "foo.trace.json"; other extensions just get the suffix.
 std::string trace_path_for(const std::string& report_path) {
@@ -180,6 +198,14 @@ std::string BenchReport::to_json() const {
   out += ",\"status\":" + std::to_string(status_);
   out += std::string{",\"telemetry_enabled\":"} +
          (telemetry::Telemetry::enabled() ? "true" : "false");
+  // The active fault profile, only when one is on — fault-free reports stay
+  // byte-identical to pre-fault-layer ones (absent field means "off").
+  {
+    const faults::FaultConfig fc = faults::fault_config_from_env();
+    if (fc.profile != faults::Profile::kOff) {
+      out += ",\"faults\":\"" + telemetry::json_escape(faults::to_string(fc.profile)) + "\"";
+    }
+  }
   // Derived rates for the headline metrics (null until their inputs exist).
   out += ",\"derived\":{";
   const auto* events = snap.counter("sim.events");

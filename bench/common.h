@@ -17,6 +17,7 @@
 
 #include "fbdcsim/analysis/resolver.h"
 #include "fbdcsim/core/stats.h"
+#include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/thread_pool.h"
 #include "fbdcsim/telemetry/export.h"
 #include "fbdcsim/telemetry/telemetry.h"
@@ -69,8 +70,15 @@ class BenchReport {
 };
 
 /// FBDCSIM_BENCH_SECONDS as a validated value (std::nullopt when unset or
-/// malformed; malformed values are diagnosed on stderr once per call).
+/// malformed; malformed — including out-of-range — values are diagnosed on
+/// stderr once per call).
 [[nodiscard]] std::optional<std::int64_t> bench_seconds_env();
+
+/// Resolves FBDCSIM_BENCH_OUT to a concrete path for `filename`: unset (or
+/// empty, with a diagnostic) keeps the working directory, a directory
+/// (trailing '/' or an existing one) prefixes it, anything else is the
+/// exact report path. Exposed for the env-parsing tests.
+[[nodiscard]] std::string resolve_out_path(const std::string& filename);
 
 /// One monitored-host capture plus everything needed to analyze it.
 struct RoleTrace {
@@ -110,6 +118,12 @@ class BenchEnv {
   /// The shared worker pool (created on first use; FBDCSIM_THREADS-sized).
   [[nodiscard]] runtime::ThreadPool& pool();
 
+  /// The fault plan selected by FBDCSIM_FAULTS, resolved once per env.
+  /// Returns nullptr when faults are off (unset, "off", or malformed), so
+  /// consumers hit the zero-cost opt-out path. Benches opt in explicitly —
+  /// captures stay fault-free unless a tweak installs this plan.
+  [[nodiscard]] const faults::FaultPlan* fault_plan();
+
   /// Effective capture length for a nominal request. Malformed or
   /// non-positive FBDCSIM_BENCH_SECONDS values are diagnosed on stderr and
   /// ignored.
@@ -119,6 +133,8 @@ class BenchEnv {
   topology::Fleet fleet_;
   analysis::AddrResolver resolver_;
   std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<faults::FaultPlan> fault_plan_;
+  bool fault_plan_resolved_{false};
 };
 
 /// Prints a CDF as (quantile, value) rows at the paper's usual quantiles.

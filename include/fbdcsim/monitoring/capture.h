@@ -29,10 +29,17 @@ class CaptureBuffer {
   /// Appends a header; returns false (and counts the loss) if full.
   bool record(const core::PacketHeader& header);
 
+  /// Counts a loss injected upstream of the buffer (a mirror frame dropped
+  /// while competing with live traffic under a fault plan). Folded into
+  /// dropped() alongside overflow losses, and tracked separately so
+  /// experiments can tell the two loss modes apart.
+  void drop_injected();
+
   [[nodiscard]] std::span<const core::PacketHeader> packets() const { return packets_; }
   [[nodiscard]] std::size_t size() const { return packets_.size(); }
   [[nodiscard]] bool empty() const { return packets_.empty(); }
   [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::int64_t injected_dropped() const { return injected_dropped_; }
   [[nodiscard]] std::int64_t capacity_records() const { return capacity_records_; }
 
   /// Hands the trace off for analysis (spooling to remote storage in the
@@ -42,6 +49,7 @@ class CaptureBuffer {
  private:
   std::int64_t capacity_records_;
   std::int64_t dropped_{0};
+  std::int64_t injected_dropped_{0};
   std::vector<core::PacketHeader> packets_;
 };
 
@@ -55,6 +63,9 @@ class PortMirror {
 
   /// Mirrors the header if either endpoint is a monitored address.
   void observe(const core::PacketHeader& header);
+
+  /// Whether observe() would mirror this header (either endpoint monitored).
+  [[nodiscard]] bool matches(const core::PacketHeader& header) const;
 
   [[nodiscard]] std::span<const core::Ipv4Addr> monitored() const { return monitored_; }
 

@@ -27,7 +27,12 @@
 #include "fbdcsim/core/flow.h"
 #include "fbdcsim/core/packet.h"
 #include "fbdcsim/core/rng.h"
+#include "fbdcsim/core/time.h"
 #include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::faults {
+class FaultPlan;
+}  // namespace fbdcsim::faults
 
 namespace fbdcsim::monitoring {
 
@@ -112,6 +117,10 @@ struct TaggedSample {
   core::DatacenterId dst_dc;
   core::Locality locality{core::Locality::kIntraRack};
   std::int64_t minute{0};  // capture minute (Scuba aggregation granularity)
+  /// Graceful degradation: the tagger's topology lookup failed (injected
+  /// fault), so the row landed without annotations. Partial rows are
+  /// counted but excluded from every topology-keyed aggregate.
+  bool partial{false};
 };
 
 /// Annotates samples with topology metadata by address lookup, exactly the
@@ -195,8 +204,16 @@ class ScubaTable {
 /// and merge them into the same result as a serial run.
 class FbflowPipeline {
  public:
+  /// `faults`, when non-null and enabled, injects the pipeline's real-world
+  /// failure modes (must outlive the pipeline): Scribe publish attempts can
+  /// fail and are retried with exponential backoff (exhausted retries lose
+  /// the sample — scribe_dropped), delivered samples can be delayed (which
+  /// shifts the Scuba minute they land in), and tagger lookups can fail
+  /// (the row lands partial). Every decision is keyed on the sample's
+  /// content (FaultPlan::sample_key), so faulted shard pipelines merge to
+  /// the same table as a faulted serial pipeline.
   FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampling_rate,
-                 core::RngStream rng);
+                 core::RngStream rng, const faults::FaultPlan* faults = nullptr);
 
   /// Fleet mode: offer a completed flow for analytic sampling. The flow's
   /// src_host is the reporting agent.
@@ -217,10 +234,28 @@ class FbflowPipeline {
   [[nodiscard]] std::int64_t sampling_rate() const { return sampling_rate_; }
   [[nodiscard]] std::int64_t tag_failures() const { return tag_failures_; }
 
+  // Fault-injection loss accounting (all zero when fault-free).
+  /// Samples lost after exhausting Scribe retries.
+  [[nodiscard]] std::int64_t scribe_dropped() const { return scribe_dropped_; }
+  /// Total failed publish attempts that were retried.
+  [[nodiscard]] std::int64_t scribe_retries() const { return scribe_retries_; }
+  /// Total exponential-backoff delay accumulated by retried publishes.
+  [[nodiscard]] core::Duration scribe_backoff_total() const { return scribe_backoff_total_; }
+  /// Delivered samples whose capture time was shifted by Scribe delay.
+  [[nodiscard]] std::int64_t scribe_delayed() const { return scribe_delayed_; }
+  /// Injected tagger lookup failures (each lands one partial row).
+  [[nodiscard]] std::int64_t tag_failures_injected() const { return tag_failures_injected_; }
+  /// Partial (untagged) rows landed in Scuba.
+  [[nodiscard]] std::int64_t partial_rows() const { return partial_rows_; }
+
  private:
   [[nodiscard]] AnalyticSampler& sampler_for(core::HostId reporter);
+  /// Scribe ingress under the fault plan: retry/drop/delay, then publish.
+  void publish(const SampledPacket& sample);
 
   std::int64_t sampling_rate_;
+  const faults::FaultPlan* faults_;
+  bool faulted_{false};
   core::RngStream analytic_root_;
   std::unordered_map<std::uint64_t, AnalyticSampler> analytic_;  // by reporter host
   core::RngStream packet_rng_;  // must precede packet_sampler_
@@ -229,6 +264,12 @@ class FbflowPipeline {
   Tagger tagger_;
   ScubaTable scuba_;
   std::int64_t tag_failures_{0};
+  std::int64_t scribe_dropped_{0};
+  std::int64_t scribe_retries_{0};
+  core::Duration scribe_backoff_total_ = core::Duration::nanos(0);
+  std::int64_t scribe_delayed_{0};
+  std::int64_t tag_failures_injected_{0};
+  std::int64_t partial_rows_{0};
 };
 
 }  // namespace fbdcsim::monitoring

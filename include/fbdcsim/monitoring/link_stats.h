@@ -12,6 +12,10 @@
 #include "fbdcsim/core/units.h"
 #include "fbdcsim/topology/network.h"
 
+namespace fbdcsim::faults {
+class FaultPlan;
+}  // namespace fbdcsim::faults
+
 namespace fbdcsim::monitoring {
 
 /// Accumulates bytes per (link, minute). Memory is O(links x minutes).
@@ -34,6 +38,15 @@ class LinkStats {
 
   /// Utilization of a link in a given minute, as a fraction of capacity.
   [[nodiscard]] double utilization(core::LinkId link, std::int64_t minute) const;
+
+  /// Utilization against fault-adjusted capacity: the plan's per-(link,
+  /// minute) capacity factor scales the denominator, so a degraded link is
+  /// proportionally more utilized by the same bytes. A failed link (factor
+  /// zero) reports 1.0 if anything was charged to it that minute — i.e.
+  /// saturated — and 0.0 otherwise. A null/disabled plan reproduces
+  /// utilization() exactly.
+  [[nodiscard]] double faulted_utilization(core::LinkId link, std::int64_t minute,
+                                           const faults::FaultPlan* plan) const;
 
   /// Mean utilization of a link over the whole horizon.
   [[nodiscard]] double mean_utilization(core::LinkId link) const;

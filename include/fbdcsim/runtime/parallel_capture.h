@@ -23,9 +23,13 @@ class ParallelCaptureRunner {
 
   /// Runs every task on the pool and returns their results in task order.
   /// A task's exception propagates to the caller (lowest task index wins)
-  /// after the whole batch has finished.
+  /// after the whole batch has finished. An empty batch is explicitly a
+  /// no-op: it returns an empty vector without touching the pool, and a
+  /// 1-element batch returns exactly that task's result (merge order is
+  /// trivially stable — there is nothing to interleave).
   template <typename R>
   [[nodiscard]] std::vector<R> run(const std::vector<std::function<R()>>& tasks) const {
+    if (tasks.empty()) return {};
     return pool_->parallel_map(tasks, [](const std::function<R()>& task) {
       FBDCSIM_T_SPAN(task_span, "runtime.capture_task");
       return task();

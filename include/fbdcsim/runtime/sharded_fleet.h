@@ -44,9 +44,14 @@ class ShardedFleetRunner {
   /// serial `generate` would. `sink` runs on the calling thread only;
   /// worker exceptions and sink exceptions both propagate to the caller
   /// after all in-flight shards have drained.
+  ///
+  /// Empty-input contract: a fleet with zero hosts streams zero flows and
+  /// never touches the pool (num_shards() is 0); a single-host fleet is one
+  /// shard, whose merge order is trivially the serial order.
   void stream(const workload::FleetFlowGenerator::Visit& sink) const;
 
-  /// All flows, merged in canonical order (a buffered `stream`).
+  /// All flows, merged in canonical order (a buffered `stream`). Returns
+  /// an empty vector for an empty fleet.
   [[nodiscard]] std::vector<core::FlowRecord> collect_flows() const;
 
   [[nodiscard]] std::size_t num_hosts() const;

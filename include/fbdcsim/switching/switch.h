@@ -18,6 +18,10 @@
 #include "fbdcsim/core/units.h"
 #include "fbdcsim/sim/simulator.h"
 
+namespace fbdcsim::faults {
+class FaultPlan;
+}  // namespace fbdcsim::faults
+
 namespace fbdcsim::switching {
 
 /// A packet in flight through the simulated rack.
@@ -51,6 +55,15 @@ struct SwitchConfig {
   /// Egress capacity per port (uniform; override per port after creation).
   core::DataRate port_rate = core::DataRate::gigabits_per_sec(10);
 };
+
+/// Applies a fault plan's switch-level faults to a config before the switch
+/// is built: the shared buffer shrinks by the plan's per-run factor (keyed
+/// on `run_salt`, normally the simulation seed). Returns the factor applied
+/// (1.0 when the plan is null, disabled, or spares this run); shrunken runs
+/// bump the "switch.buffer_shrunk_runs" telemetry counter. Deterministic:
+/// the same (plan seed, run_salt) always shrinks — or spares — the run.
+double apply_fault_profile(SwitchConfig& config, const faults::FaultPlan* plan,
+                           std::uint64_t run_salt);
 
 /// The switch. Egress-port selection is the caller's job (the rack model
 /// knows the topology); the switch models buffering, admission, drops, and

@@ -14,8 +14,13 @@
 
 #include "fbdcsim/core/ids.h"
 #include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/time.h"
 #include "fbdcsim/core/units.h"
 #include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::faults {
+class FaultPlan;
+}  // namespace fbdcsim::faults
 
 namespace fbdcsim::topology {
 
@@ -159,6 +164,16 @@ class Router {
   /// Links traversed (in order) by packets of `tuple` from src to dst.
   [[nodiscard]] std::vector<LinkId> route(core::HostId src, core::HostId dst,
                                           const core::FiveTuple& tuple) const;
+
+  /// Fault-aware routing: equal-cost choices whose first-hop link is failed
+  /// at `at` leave that hop's ECMP set (production ECMP reroutes around
+  /// down links). When every choice has failed, the full set is used — the
+  /// packet still takes a (dead) path rather than vanishing, so link-level
+  /// accounting can show the saturation. A null or disabled plan makes this
+  /// identical to route().
+  [[nodiscard]] std::vector<LinkId> route(core::HostId src, core::HostId dst,
+                                          const core::FiveTuple& tuple, core::TimePoint at,
+                                          const faults::FaultPlan* plan) const;
 
  private:
   const Fleet* fleet_;

@@ -22,6 +22,10 @@
 #include "fbdcsim/services/peer_selection.h"
 #include "fbdcsim/topology/entities.h"
 
+namespace fbdcsim::faults {
+class FaultPlan;
+}  // namespace fbdcsim::faults
+
 namespace fbdcsim::workload {
 
 /// Fast (role, scope) peer lookup shared across all source hosts — the
@@ -62,6 +66,12 @@ struct FleetGenConfig {
   core::DiurnalProfile::Params diurnal;
   std::uint64_t seed = 1;
   services::ServiceMix mix;
+  /// Optional fault schedule: hosts crashed for the epoch containing a
+  /// flow's start emit and receive nothing (the flow is skipped; skips are
+  /// counted in the "fleet.host_down_skipped" telemetry counter). Null or
+  /// disabled plans take the exact fault-free path. Decisions depend only
+  /// on the flow itself, so per-host generation stays shard-independent.
+  const faults::FaultPlan* faults = nullptr;
 };
 
 class FleetFlowGenerator {

@@ -22,6 +22,10 @@
 #include "fbdcsim/switching/switch.h"
 #include "fbdcsim/topology/entities.h"
 
+namespace fbdcsim::faults {
+class FaultPlan;
+}  // namespace fbdcsim::faults
+
 namespace fbdcsim::workload {
 
 struct RackSimConfig {
@@ -49,14 +53,24 @@ struct RackSimConfig {
   /// the mirrored host's trace are unaffected; keep at 1.0 for the buffer
   /// experiments (Figure 15), lower it to speed up trace-only experiments.
   double background_rate_scale = 1.0;
+  /// Optional fault schedule (must outlive the simulation). When set and
+  /// enabled: the RSW shared buffer may start shrunken, failed uplinks
+  /// leave the ECMP set, degraded uplinks run at reduced rate, and the
+  /// mirror drops frames under buffer pressure (counted in
+  /// capture_dropped / capture_injected_dropped). Null is the zero-cost
+  /// opt-out: the run is bit-identical to a fault-free one.
+  const faults::FaultPlan* faults = nullptr;
 };
 
 struct RackSimResult {
   /// The mirrored packet-header trace, in timestamp order, capture window
   /// only (timestamps are absolute simulation time).
   std::vector<core::PacketHeader> trace;
-  /// Capture losses (should be zero; the paper's RSWs mirror losslessly).
+  /// Capture losses: buffer overflow plus fault-injected mirror drops
+  /// (zero for fault-free runs; the paper's RSWs mirror losslessly).
   std::int64_t capture_dropped{0};
+  /// The fault-injected subset of capture_dropped.
+  std::int64_t capture_injected_dropped{0};
   /// Per-second buffer occupancy stats, when sampling was enabled.
   std::vector<switching::BufferOccupancySampler::SecondStats> buffer_seconds;
   /// Aggregate uplink counters over the whole run (all uplink ports).
@@ -103,6 +117,10 @@ class RackSimulation : public services::TrafficSink {
   /// Port map: ports [0, hosts) are host downlinks (rack position order);
   /// ports [hosts, hosts + uplinks) are CSW uplinks.
   std::size_t num_host_ports_{0};
+  /// Uplink port indices still in the ECMP set after fault evaluation
+  /// (all uplinks when fault-free or when every uplink failed).
+  std::vector<std::size_t> live_uplinks_;
+  bool faulted_{false};
   core::TimePoint capture_start_;
   bool capturing_{false};
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fbdcsim/telemetry/telemetry.h"
+
 namespace fbdcsim::monitoring {
 
 CaptureBuffer::CaptureBuffer(std::int64_t memory_limit_bytes)
@@ -10,10 +12,19 @@ CaptureBuffer::CaptureBuffer(std::int64_t memory_limit_bytes)
 bool CaptureBuffer::record(const core::PacketHeader& header) {
   if (static_cast<std::int64_t>(packets_.size()) >= capacity_records_) {
     ++dropped_;
+    FBDCSIM_T_COUNTER(lost, "capture.dropped", Sim);
+    FBDCSIM_T_ADD(lost, 1);
     return false;
   }
   packets_.push_back(header);
   return true;
+}
+
+void CaptureBuffer::drop_injected() {
+  ++dropped_;
+  ++injected_dropped_;
+  FBDCSIM_T_COUNTER(lost, "capture.dropped", Sim);
+  FBDCSIM_T_ADD(lost, 1);
 }
 
 std::vector<core::PacketHeader> CaptureBuffer::spool() {
@@ -23,12 +34,14 @@ std::vector<core::PacketHeader> CaptureBuffer::spool() {
 }
 
 void PortMirror::observe(const core::PacketHeader& header) {
+  if (matches(header)) buffer_->record(header);
+}
+
+bool PortMirror::matches(const core::PacketHeader& header) const {
   for (const core::Ipv4Addr addr : monitored_) {
-    if (header.tuple.src_ip == addr || header.tuple.dst_ip == addr) {
-      buffer_->record(header);
-      return;
-    }
+    if (header.tuple.src_ip == addr || header.tuple.dst_ip == addr) return true;
   }
+  return false;
 }
 
 }  // namespace fbdcsim::monitoring

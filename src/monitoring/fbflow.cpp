@@ -1,9 +1,11 @@
 #include "fbdcsim/monitoring/fbflow.h"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 #include "fbdcsim/core/units.h"
+#include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/telemetry/telemetry.h"
 
 namespace fbdcsim::monitoring {
@@ -85,6 +87,7 @@ std::array<double, core::kNumLocalities> ScubaTable::LocalityBytes::percentages(
 ScubaTable::LocalityBytes ScubaTable::locality_bytes(std::int64_t sampling_rate) const {
   LocalityBytes out;
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     out.bytes[static_cast<int>(r.locality)] +=
         static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
   }
@@ -96,6 +99,7 @@ ScubaTable::LocalityBytes ScubaTable::locality_bytes_for_cluster_type(
     std::int64_t sampling_rate) const {
   LocalityBytes out;
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     if (fleet.cluster(r.src_cluster).type != type) continue;
     out.bytes[static_cast<int>(r.locality)] +=
         static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
@@ -112,6 +116,7 @@ std::vector<std::pair<topology::ClusterType, double>> ScubaTable::bytes_by_clust
   std::vector<std::pair<topology::ClusterType, double>> out;
   for (const auto type : kTypes) out.emplace_back(type, 0.0);
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     const auto type = fleet.cluster(r.src_cluster).type;
     for (auto& [t, bytes] : out) {
       if (t == type) {
@@ -133,6 +138,7 @@ std::vector<std::vector<double>> ScubaTable::rack_matrix(const topology::Fleet& 
   for (std::size_t i = 0; i < racks.size(); ++i) pos[racks[i].value()] = static_cast<std::int64_t>(i);
 
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     if (r.src_cluster != cluster || r.dst_cluster != cluster) continue;
     const std::int64_t si = pos[r.src_rack.value()];
     const std::int64_t di = pos[r.dst_rack.value()];
@@ -154,6 +160,7 @@ std::vector<std::vector<double>> ScubaTable::cluster_matrix(const topology::Flee
   }
 
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     if (r.src_dc != dc || r.dst_dc != dc) continue;
     const std::int64_t si = pos[r.src_cluster.value()];
     const std::int64_t di = pos[r.dst_cluster.value()];
@@ -167,6 +174,7 @@ std::vector<std::vector<double>> ScubaTable::cluster_matrix(const topology::Flee
 std::vector<std::vector<double>> ScubaTable::role_matrix(std::int64_t sampling_rate) const {
   std::vector<std::vector<double>> m(8, std::vector<double>(8, 0.0));
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     m[static_cast<std::size_t>(r.src_role)][static_cast<std::size_t>(r.dst_role)] +=
         static_cast<double>(r.sample.frame_bytes) * static_cast<double>(sampling_rate);
   }
@@ -182,6 +190,7 @@ std::vector<std::pair<core::HostRole, double>> ScubaTable::outbound_by_dest_role
   std::vector<std::pair<core::HostRole, double>> out;
   for (const auto role : kRoles) out.emplace_back(role, 0.0);
   for (const TaggedSample& r : rows_) {
+    if (r.partial) continue;
     if (r.src_host != src) continue;
     for (auto& [role, bytes] : out) {
       if (role == r.dst_role) {
@@ -194,8 +203,10 @@ std::vector<std::pair<core::HostRole, double>> ScubaTable::outbound_by_dest_role
 }
 
 FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampling_rate,
-                               core::RngStream rng)
+                               core::RngStream rng, const faults::FaultPlan* faults)
     : sampling_rate_{sampling_rate},
+      faults_{faults},
+      faulted_{faults != nullptr && faults->enabled()},
       analytic_root_{rng.fork("analytic")},
       packet_rng_{rng.fork("packet")},
       packet_sampler_{sampling_rate, packet_rng_},
@@ -203,6 +214,27 @@ FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampli
   scribe_.subscribe([this](const SampledPacket& s) {
     FBDCSIM_T_COUNTER(published, "fbflow.scribe.published", Sim);
     FBDCSIM_T_ADD(published, 1);
+    if (faulted_) {
+      // Injected tagger outage: degrade gracefully — the row lands
+      // partial (untagged) rather than being lost.
+      const std::uint64_t key = faults::FaultPlan::sample_key(
+          s.reporter.value(), s.captured_at.count_nanos(),
+          std::hash<core::FiveTuple>{}(s.tuple));
+      if (faults_->tagger_lookup_fails(key)) {
+        TaggedSample partial;
+        partial.sample = s;
+        partial.partial = true;
+        partial.minute = s.captured_at.count_nanos() / 60'000'000'000LL;
+        scuba_.add(partial);
+        ++tag_failures_injected_;
+        ++partial_rows_;
+        FBDCSIM_T_COUNTER(injected, "fbflow.tag_failures_injected", Sim);
+        FBDCSIM_T_COUNTER(partials, "fbflow.partial_rows", Sim);
+        FBDCSIM_T_ADD(injected, 1);
+        FBDCSIM_T_ADD(partials, 1);
+        return;
+      }
+    }
     TaggedSample tagged;
     if (tagger_.tag(s, tagged)) {
       scuba_.add(tagged);
@@ -214,6 +246,51 @@ FbflowPipeline::FbflowPipeline(const topology::Fleet& fleet, std::int64_t sampli
       FBDCSIM_T_ADD(failures, 1);
     }
   });
+}
+
+void FbflowPipeline::publish(const SampledPacket& sample) {
+  if (!faulted_) {
+    scribe_.publish(sample);
+    return;
+  }
+  const std::uint64_t key = faults::FaultPlan::sample_key(
+      sample.reporter.value(), sample.captured_at.count_nanos(),
+      std::hash<core::FiveTuple>{}(sample.tuple));
+
+  // Retry with exponential backoff; each attempt's fate is its own
+  // deterministic draw. A sample whose every attempt fails is lost.
+  const int max_retries = faults_->config().scribe_max_retries;
+  int failed_attempts = 0;
+  while (failed_attempts <= max_retries &&
+         faults_->scribe_attempt_fails(key, failed_attempts)) {
+    ++failed_attempts;
+  }
+  if (failed_attempts > max_retries) {
+    ++scribe_dropped_;
+    scribe_backoff_total_ = scribe_backoff_total_ + faults_->scribe_backoff(failed_attempts);
+    FBDCSIM_T_COUNTER(dropped, "fbflow.scribe_dropped", Sim);
+    FBDCSIM_T_ADD(dropped, 1);
+    return;
+  }
+  if (failed_attempts > 0) {
+    scribe_retries_ += failed_attempts;
+    scribe_backoff_total_ = scribe_backoff_total_ + faults_->scribe_backoff(failed_attempts);
+    FBDCSIM_T_COUNTER(retries, "fbflow.scribe_retries", Sim);
+    FBDCSIM_T_ADD(retries, failed_attempts);
+  }
+
+  if (faults_->scribe_delayed(key)) {
+    // The delay shifts the capture timestamp — and so, possibly, the Scuba
+    // minute the record lands in (the mis-tagged-minute effect).
+    SampledPacket delayed = sample;
+    delayed.captured_at = sample.captured_at + faults_->scribe_delay(key);
+    ++scribe_delayed_;
+    FBDCSIM_T_COUNTER(delayed_c, "fbflow.scribe_delayed", Sim);
+    FBDCSIM_T_ADD(delayed_c, 1);
+    scribe_.publish(delayed);
+    return;
+  }
+  scribe_.publish(sample);
 }
 
 AnalyticSampler& FbflowPipeline::sampler_for(core::HostId reporter) {
@@ -229,7 +306,7 @@ void FbflowPipeline::offer_flow(const core::FlowRecord& flow) {
   FBDCSIM_T_COUNTER(offered, "fbflow.flows_offered", Sim);
   FBDCSIM_T_ADD(offered, 1);
   sampler_for(flow.src_host)
-      .sample_flow(flow, [this](const SampledPacket& s) { scribe_.publish(s); });
+      .sample_flow(flow, [this](const SampledPacket& s) { publish(s); });
 }
 
 void FbflowPipeline::merge(const FbflowPipeline& other) {
@@ -239,6 +316,12 @@ void FbflowPipeline::merge(const FbflowPipeline& other) {
   scuba_.merge(other.scuba_);
   scribe_.absorb_counters(other.scribe_);
   tag_failures_ += other.tag_failures_;
+  scribe_dropped_ += other.scribe_dropped_;
+  scribe_retries_ += other.scribe_retries_;
+  scribe_backoff_total_ = scribe_backoff_total_ + other.scribe_backoff_total_;
+  scribe_delayed_ += other.scribe_delayed_;
+  tag_failures_injected_ += other.tag_failures_injected_;
+  partial_rows_ += other.partial_rows_;
 }
 
 void FbflowPipeline::offer_packet(core::HostId reporter, const core::PacketHeader& header) {
@@ -250,7 +333,7 @@ void FbflowPipeline::offer_packet(core::HostId reporter, const core::PacketHeade
   s.tuple = header.tuple;
   s.frame_bytes = header.frame_bytes;
   s.reporter = reporter;
-  scribe_.publish(s);
+  publish(s);
 }
 
 }  // namespace fbdcsim::monitoring

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fbdcsim/faults/fault_plan.h"
+
 namespace fbdcsim::monitoring {
 
 LinkStats::LinkStats(const topology::Network& network, core::Duration horizon)
@@ -61,6 +63,18 @@ double LinkStats::utilization(core::LinkId link, std::int64_t minute) const {
   const double capacity_bytes =
       static_cast<double>(network_->link(link).capacity.count_bits_per_sec()) / 8.0 * 60.0;
   return b / capacity_bytes;
+}
+
+double LinkStats::faulted_utilization(core::LinkId link, std::int64_t minute,
+                                      const faults::FaultPlan* plan) const {
+  if (plan == nullptr || !plan->enabled()) return utilization(link, minute);
+  const core::TimePoint at = core::TimePoint::zero() + core::Duration::minutes(minute);
+  const double factor = plan->link_capacity_factor(link, at);
+  if (factor <= 0.0) {
+    const double b = bytes_.at(link.value()).at(static_cast<std::size_t>(minute));
+    return b > 0.0 ? 1.0 : 0.0;
+  }
+  return utilization(link, minute) / factor;
 }
 
 double LinkStats::mean_utilization(core::LinkId link) const {

@@ -27,6 +27,7 @@ void ShardedFleetRunner::stream(const workload::FleetFlowGenerator::Visit& sink)
   FBDCSIM_T_SPAN(stream_span, "fleet.stream");
   const auto& hosts = gen_->fleet().hosts();
   const std::size_t n = hosts.size();
+  // Empty fleet: explicitly nothing to stream; the pool is never touched.
   if (n == 0) return;
   const std::size_t shard = options_.shard_size;
   const std::size_t nshards = (n + shard - 1) / shard;

@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/telemetry/telemetry.h"
 
 namespace fbdcsim::switching {
+
+double apply_fault_profile(SwitchConfig& config, const faults::FaultPlan* plan,
+                           std::uint64_t run_salt) {
+  if (plan == nullptr || !plan->enabled()) return 1.0;
+  const double factor = plan->buffer_shrink_factor(run_salt);
+  if (factor >= 1.0) return 1.0;
+  config.buffer_total = core::DataSize::bytes(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(config.buffer_total.count_bytes()) *
+                                   factor)));
+  FBDCSIM_T_COUNTER(shrunk, "switch.buffer_shrunk_runs", Sim);
+  FBDCSIM_T_ADD(shrunk, 1);
+  return factor;
+}
 
 SharedBufferSwitch::SharedBufferSwitch(sim::Simulator& sim, SwitchConfig config,
                                        DeliverFn deliver)

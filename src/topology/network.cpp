@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fbdcsim/core/rng.h"
+#include "fbdcsim/faults/fault_plan.h"
 
 namespace fbdcsim::topology {
 
@@ -195,6 +196,29 @@ std::size_t ecmp_pick(const core::FiveTuple& tuple, std::uint64_t salt, std::siz
 
 std::vector<LinkId> Router::route(core::HostId src, core::HostId dst,
                                   const core::FiveTuple& tuple) const {
+  return route(src, dst, tuple, core::TimePoint::zero(), nullptr);
+}
+
+std::vector<LinkId> Router::route(core::HostId src, core::HostId dst,
+                                  const core::FiveTuple& tuple, core::TimePoint at,
+                                  const faults::FaultPlan* plan) const {
+  const bool faulted = plan != nullptr && plan->enabled();
+  // ECMP pick among `choices` downstream of `from`, skipping choices whose
+  // first-hop link is failed (all choices when fault-free, or when every
+  // first hop is down).
+  const auto pick = [&](std::span<const SwitchId> choices, std::uint64_t salt,
+                        NodeRef from) -> SwitchId {
+    if (!faulted) return choices[ecmp_pick(tuple, salt, choices.size())];
+    std::vector<SwitchId> live;
+    live.reserve(choices.size());
+    for (const SwitchId c : choices) {
+      const LinkId hop = network_->find_link(from, NodeRef::sw(c));
+      if (!plan->link_failed(hop, at)) live.push_back(c);
+    }
+    if (live.empty()) return choices[ecmp_pick(tuple, salt, choices.size())];
+    return live[ecmp_pick(tuple, salt, live.size())];
+  };
+
   std::vector<LinkId> path;
   if (src == dst) return path;
 
@@ -212,16 +236,16 @@ std::vector<LinkId> Router::route(core::HostId src, core::HostId dst,
   const core::Locality loc = fleet_->locality(src, dst);
   if (loc == core::Locality::kIntraCluster) {
     const auto csws = network_->csws_of(s.cluster);
-    const SwitchId csw = csws[ecmp_pick(tuple, 0x1, csws.size())];
+    const SwitchId csw = pick(csws, 0x1, NodeRef::sw(rsw_s));
     path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw)));
     path.push_back(network_->find_link(NodeRef::sw(csw), NodeRef::sw(rsw_d)));
   } else if (loc == core::Locality::kIntraDatacenter) {
     const auto csws_s = network_->csws_of(s.cluster);
     const auto csws_d = network_->csws_of(d.cluster);
     const auto fcs = network_->fcs_of(s.datacenter);
-    const SwitchId csw_s = csws_s[ecmp_pick(tuple, 0x2, csws_s.size())];
-    const SwitchId fc = fcs[ecmp_pick(tuple, 0x3, fcs.size())];
-    const SwitchId csw_d = csws_d[ecmp_pick(tuple, 0x4, csws_d.size())];
+    const SwitchId csw_s = pick(csws_s, 0x2, NodeRef::sw(rsw_s));
+    const SwitchId fc = pick(fcs, 0x3, NodeRef::sw(csw_s));
+    const SwitchId csw_d = pick(csws_d, 0x4, NodeRef::sw(fc));
     path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw_s)));
     path.push_back(network_->find_link(NodeRef::sw(csw_s), NodeRef::sw(fc)));
     path.push_back(network_->find_link(NodeRef::sw(fc), NodeRef::sw(csw_d)));
@@ -231,9 +255,9 @@ std::vector<LinkId> Router::route(core::HostId src, core::HostId dst,
     const auto csws_s = network_->csws_of(s.cluster);
     const auto csws_d = network_->csws_of(d.cluster);
     const auto aggs = network_->siteaggs_of(s.site);
-    const SwitchId csw_s = csws_s[ecmp_pick(tuple, 0x5, csws_s.size())];
-    const SwitchId agg = aggs[ecmp_pick(tuple, 0x6, aggs.size())];
-    const SwitchId csw_d = csws_d[ecmp_pick(tuple, 0x7, csws_d.size())];
+    const SwitchId csw_s = pick(csws_s, 0x5, NodeRef::sw(rsw_s));
+    const SwitchId agg = pick(aggs, 0x6, NodeRef::sw(csw_s));
+    const SwitchId csw_d = pick(csws_d, 0x7, NodeRef::sw(agg));
     path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw_s)));
     path.push_back(network_->find_link(NodeRef::sw(csw_s), NodeRef::sw(agg)));
     path.push_back(network_->find_link(NodeRef::sw(agg), NodeRef::sw(csw_d)));
@@ -242,10 +266,10 @@ std::vector<LinkId> Router::route(core::HostId src, core::HostId dst,
     // Inter-site: via datacenter routers and the backbone.
     const auto csws_s = network_->csws_of(s.cluster);
     const auto csws_d = network_->csws_of(d.cluster);
-    const SwitchId csw_s = csws_s[ecmp_pick(tuple, 0x8, csws_s.size())];
-    const SwitchId csw_d = csws_d[ecmp_pick(tuple, 0x9, csws_d.size())];
+    const SwitchId csw_s = pick(csws_s, 0x8, NodeRef::sw(rsw_s));
     const SwitchId dr_s = network_->dr_of(s.datacenter);
     const SwitchId dr_d = network_->dr_of(d.datacenter);
+    const SwitchId csw_d = pick(csws_d, 0x9, NodeRef::sw(dr_d));
     path.push_back(network_->find_link(NodeRef::sw(rsw_s), NodeRef::sw(csw_s)));
     path.push_back(network_->find_link(NodeRef::sw(csw_s), NodeRef::sw(dr_s)));
     path.push_back(network_->find_link(NodeRef::sw(dr_s), NodeRef::sw(dr_d)));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/telemetry/telemetry.h"
 
 #if FBDCSIM_TELEMETRY_ENABLED
@@ -350,6 +351,24 @@ void FleetFlowGenerator::generate_for_host(HostId host, const Visit& visit) cons
   core::RngStream rng = root.fork("fleet-host", host.value());
   const auto comps = components_for(role);
   const std::int64_t epochs = config_.horizon / config_.epoch;
+
+  // Host crash/restart gating. Every random draw still happens for skipped
+  // flows, so a fault plan never perturbs the draws of surviving flows —
+  // and a disabled plan forwards to `visit` unconditionally, reproducing
+  // the fault-free stream bit for bit.
+  const faults::FaultPlan* plan = config_.faults;
+  const bool faulted = plan != nullptr && plan->enabled();
+  std::int64_t down_skipped = 0;
+  const Visit gated = [&](const core::FlowRecord& f) {
+    if (faulted &&
+        (plan->host_down(f.src_host, f.start) || plan->host_down(f.dst_host, f.start))) {
+      ++down_skipped;
+      return;
+    }
+    visit(f);
+  };
+  const Visit& sink = faulted ? gated : visit;
+
 #if FBDCSIM_TELEMETRY_ENABLED
   if (telemetry::Telemetry::enabled()) {
     // Count this host's flows locally and fold them into the fleet-wide
@@ -358,19 +377,23 @@ void FleetFlowGenerator::generate_for_host(HostId host, const Visit& visit) cons
     std::int64_t emitted = 0;
     const Visit counted = [&](const core::FlowRecord& f) {
       ++emitted;
-      visit(f);
+      sink(f);
     };
     for (std::int64_t e = 0; e < epochs; ++e) {
       for (const Component& c : comps) emit_component(host, c, e, rng, counted);
     }
     FBDCSIM_T_COUNTER(total, "fleet.flows", Sim);
-    FBDCSIM_T_ADD(total, emitted);
-    role_flow_counter(role).add(emitted);
+    FBDCSIM_T_ADD(total, emitted - down_skipped);
+    role_flow_counter(role).add(emitted - down_skipped);
+    if (down_skipped > 0) {
+      FBDCSIM_T_COUNTER(skipped, "fleet.host_down_skipped", Sim);
+      FBDCSIM_T_ADD(skipped, down_skipped);
+    }
     return;
   }
 #endif
   for (std::int64_t e = 0; e < epochs; ++e) {
-    for (const Component& c : comps) emit_component(host, c, e, rng, visit);
+    for (const Component& c : comps) emit_component(host, c, e, rng, sink);
   }
 }
 

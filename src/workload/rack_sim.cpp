@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/telemetry/telemetry.h"
+
 namespace fbdcsim::workload {
 
 namespace {
 using services::SimPacket;
+
+/// Stable synthetic LinkId for one RSW uplink port, so the fault plan's
+/// per-link schedule applies to rack uplinks that have no fleet-level
+/// LinkId. Keyed on the run seed: two racks simulated with different seeds
+/// see independent uplink fault draws.
+core::LinkId uplink_link_id(std::uint64_t seed, int port) {
+  return core::LinkId{static_cast<std::uint32_t>(
+      core::splitmix64(seed ^ (0xF00DULL + static_cast<std::uint64_t>(port))))};
+}
 }  // namespace
 
 RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig config)
@@ -18,10 +30,48 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
   const topology::Rack& rack = fleet.rack(rack_);
   num_host_ports_ = rack.hosts.size();
 
+  faulted_ = config_.faults != nullptr && config_.faults->enabled();
+
   switching::SwitchConfig sw = config_.rsw;
   sw.num_ports = num_host_ports_ + static_cast<std::size_t>(config_.uplink_ports);
+  switching::apply_fault_profile(sw, config_.faults, config_.seed);
   rsw_ = std::make_unique<switching::SharedBufferSwitch>(
       sim_, sw, [](std::size_t, const SimPacket&) { /* leaves the modelled rack */ });
+
+  // Uplink fault evaluation. Link-minute faults are sampled once at t=0 for
+  // the whole run: a rack capture spans minutes at most, and a fixed ECMP
+  // set keeps per-run behaviour easy to reason about. Failed uplinks leave
+  // the ECMP set; degraded ones stay but run slower. If every uplink failed
+  // the full set is kept (a rack with zero uplinks would wedge the run).
+  for (int p = 0; p < config_.uplink_ports; ++p) {
+    const std::size_t port = num_host_ports_ + static_cast<std::size_t>(p);
+    if (!faulted_) {
+      live_uplinks_.push_back(port);
+      continue;
+    }
+    const core::LinkId link = uplink_link_id(config_.seed, p);
+    if (config_.faults->link_failed(link, core::TimePoint::zero())) {
+      FBDCSIM_T_COUNTER(failed, "rack.uplinks_failed", Sim);
+      FBDCSIM_T_ADD(failed, 1);
+      continue;
+    }
+    const double factor = config_.faults->link_capacity_factor(link, core::TimePoint::zero());
+    if (factor < 1.0) {
+      rsw_->set_port_rate(port,
+                          core::DataRate::bits_per_sec(std::max<std::int64_t>(
+                              1, static_cast<std::int64_t>(
+                                     static_cast<double>(sw.port_rate.count_bits_per_sec()) *
+                                     factor))));
+      FBDCSIM_T_COUNTER(degraded, "rack.uplinks_degraded", Sim);
+      FBDCSIM_T_ADD(degraded, 1);
+    }
+    live_uplinks_.push_back(port);
+  }
+  if (live_uplinks_.empty()) {
+    for (int p = 0; p < config_.uplink_ports; ++p) {
+      live_uplinks_.push_back(num_host_ports_ + static_cast<std::size_t>(p));
+    }
+  }
 
   // Mirroring rule: the monitored host, or the whole rack for Web racks.
   std::vector<core::Ipv4Addr> monitored;
@@ -54,13 +104,26 @@ std::size_t RackSimulation::egress_port_for(const SimPacket& packet) const {
     const auto it = std::find(hosts.begin(), hosts.end(), packet.dst);
     return static_cast<std::size_t>(std::distance(hosts.begin(), it));
   }
-  // Uplink: ECMP over the four CSW-facing ports by 5-tuple hash.
+  // Uplink: ECMP over the live CSW-facing ports by 5-tuple hash. Fault-free
+  // runs hash over all uplinks (identical to the pre-fault behaviour).
   const std::size_t h = std::hash<core::FiveTuple>{}(packet.header.tuple);
-  return num_host_ports_ + h % static_cast<std::size_t>(config_.uplink_ports);
+  return live_uplinks_[h % live_uplinks_.size()];
 }
 
 void RackSimulation::observe(const core::PacketHeader& header) {
-  if (capturing_) mirror_->observe(header);
+  if (!capturing_) return;
+  if (faulted_ && mirror_->matches(header)) {
+    // Mirror loss under load: decided per frame identity, so the same
+    // frame drops (or survives) regardless of sharding or replay order.
+    const std::uint64_t key = faults::FaultPlan::sample_key(
+        config_.monitored_host.value(), header.timestamp.count_nanos(),
+        std::hash<core::FiveTuple>{}(header.tuple));
+    if (config_.faults->capture_drop(key, rsw_->buffer_occupancy_fraction())) {
+      capture_buffer_.drop_injected();
+      return;
+    }
+  }
+  mirror_->observe(header);
 }
 
 void RackSimulation::host_send(const SimPacket& packet) {
@@ -99,6 +162,7 @@ RackSimResult RackSimulation::run() {
               return a.timestamp < b.timestamp;
             });
   result.capture_dropped = capture_buffer_.dropped();
+  result.capture_injected_dropped = capture_buffer_.injected_dropped();
   for (std::size_t p = 0; p < rsw_->num_ports(); ++p) {
     const switching::PortCounters& c = rsw_->counters(p);
     switching::PortCounters& agg = p < num_host_ports_ ? result.downlinks : result.uplink;

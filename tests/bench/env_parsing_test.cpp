@@ -1,0 +1,186 @@
+// Fuzz/edge tests for every environment knob the bench harness and runtime
+// read: FBDCSIM_BENCH_SECONDS, FBDCSIM_THREADS, FBDCSIM_BENCH_OUT, and
+// FBDCSIM_FAULTS. The contract under test: malformed values — empty,
+// whitespace, overflow, negative, trailing garbage — always fall back to
+// the documented default and never crash.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/runtime/thread_pool.h"
+
+namespace fbdcsim::bench {
+namespace {
+
+/// Saves and restores one environment variable around a test.
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_{name} {
+    if (const char* v = std::getenv(name)) saved_ = v;
+    ::unsetenv(name);
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  void set(const char* value) { ::setenv(name_, value, 1); }
+  void unset() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// Inputs that must never parse as a valid positive integer.
+const std::vector<const char*> kBadIntegers{
+    "",        " ",         "abc",    "12abc", "1.5",  "1e3",
+    "--3",     "+-2",       "0x10",   "12 ",   "½",    "999999999999999999999999999",
+    "-999999999999999999999999999"};
+
+TEST(BenchSecondsEnvTest, UnsetYieldsNullopt) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_SECONDS"};
+  EXPECT_EQ(bench_seconds_env(), std::nullopt);
+}
+
+TEST(BenchSecondsEnvTest, ValidValuesParse) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_SECONDS"};
+  guard.set("7");
+  EXPECT_EQ(bench_seconds_env(), 7);
+  guard.set("86400");
+  EXPECT_EQ(bench_seconds_env(), 86400);
+}
+
+TEST(BenchSecondsEnvTest, MalformedValuesFallBackToNullopt) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_SECONDS"};
+  for (const char* bad : kBadIntegers) {
+    guard.set(bad);
+    EXPECT_EQ(bench_seconds_env(), std::nullopt) << "'" << bad << "'";
+  }
+}
+
+TEST(BenchSecondsEnvTest, NonPositiveValuesFallBackToNullopt) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_SECONDS"};
+  for (const char* bad : {"0", "-1", "-86400"}) {
+    guard.set(bad);
+    EXPECT_EQ(bench_seconds_env(), std::nullopt) << "'" << bad << "'";
+  }
+}
+
+TEST(BenchSecondsEnvTest, EffectiveSecondsUsesNominalOnFallback) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_SECONDS"};
+  EXPECT_EQ(BenchEnv::effective_seconds(30), 30);
+  guard.set("not-a-number");
+  EXPECT_EQ(BenchEnv::effective_seconds(30), 30);
+  guard.set("0");
+  EXPECT_EQ(BenchEnv::effective_seconds(12), 12);
+  guard.set("2");
+  EXPECT_EQ(BenchEnv::effective_seconds(30), 2);
+}
+
+TEST(ThreadsEnvTest, ValidValuesParse) {
+  EnvVarGuard guard{"FBDCSIM_THREADS"};
+  guard.set("1");
+  EXPECT_EQ(runtime::env_thread_count(), 1);
+  guard.set("3");
+  EXPECT_EQ(runtime::env_thread_count(), 3);
+  guard.set("4096");
+  EXPECT_EQ(runtime::env_thread_count(), 4096);
+}
+
+TEST(ThreadsEnvTest, MalformedValuesFallBackToHardwareConcurrency) {
+  EnvVarGuard guard{"FBDCSIM_THREADS"};
+  const int fallback = runtime::env_thread_count();  // unset -> hardware
+  ASSERT_GE(fallback, 1);
+  for (const char* bad : kBadIntegers) {
+    guard.set(bad);
+    EXPECT_EQ(runtime::env_thread_count(), fallback) << "'" << bad << "'";
+  }
+  for (const char* out_of_range : {"0", "-2", "4097"}) {
+    guard.set(out_of_range);
+    EXPECT_EQ(runtime::env_thread_count(), fallback) << "'" << out_of_range << "'";
+  }
+}
+
+TEST(BenchOutEnvTest, UnsetAndEmptyKeepTheWorkingDirectory) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_OUT"};
+  EXPECT_EQ(resolve_out_path("bench_x.json"), "bench_x.json");
+  guard.set("");
+  EXPECT_EQ(resolve_out_path("bench_x.json"), "bench_x.json");
+}
+
+TEST(BenchOutEnvTest, TrailingSlashIsADirectoryEvenIfAbsent) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_OUT"};
+  guard.set("/nonexistent/reports/");
+  EXPECT_EQ(resolve_out_path("bench_x.json"), "/nonexistent/reports/bench_x.json");
+}
+
+TEST(BenchOutEnvTest, ExistingDirectoryGetsASeparator) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_OUT"};
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();  // exercise stat()
+  ASSERT_FALSE(dir.empty());
+  guard.set(dir.c_str());
+  EXPECT_EQ(resolve_out_path("bench_x.json"), dir + "/bench_x.json");
+}
+
+TEST(BenchOutEnvTest, AnythingElseIsTheExactFilePath) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_OUT"};
+  guard.set("/tmp/custom_report_name.json");
+  EXPECT_EQ(resolve_out_path("bench_x.json"), "/tmp/custom_report_name.json");
+}
+
+TEST(FaultsEnvFuzzTest, FaultPlanResolutionNeverCrashes) {
+  EnvVarGuard guard{"FBDCSIM_FAULTS"};
+  const std::vector<const char*> specs{
+      "",    " ",     "off", "light", "heavy", "OFF",  "Light",
+      "0.5", "-1",    "/",   ".",     "..",    "\n",   "light\nheavy",
+      "/dev/null",    "/nonexistent/profile.conf"};
+  for (const char* spec : specs) {
+    guard.set(spec);
+    const faults::FaultConfig cfg = faults::fault_config_from_env();
+    // Either a real profile or a clean fallback to off — never a crash.
+    if (std::string{spec} == "light") {
+      EXPECT_EQ(cfg.profile, faults::Profile::kLight);
+    } else if (std::string{spec} == "heavy") {
+      EXPECT_EQ(cfg.profile, faults::Profile::kHeavy);
+    } else {
+      EXPECT_EQ(cfg.profile, faults::Profile::kOff) << "'" << spec << "'";
+    }
+  }
+}
+
+TEST(FaultsEnvFuzzTest, BenchEnvFaultPlanIsNullWhenOff) {
+  EnvVarGuard guard{"FBDCSIM_FAULTS"};
+  {
+    BenchEnv env;
+    EXPECT_EQ(env.fault_plan(), nullptr);
+    EXPECT_EQ(env.fault_plan(), nullptr);  // resolved once, stable
+  }
+  guard.set("garbage-value");
+  {
+    BenchEnv env;
+    EXPECT_EQ(env.fault_plan(), nullptr);
+  }
+}
+
+TEST(FaultsEnvFuzzTest, BenchEnvFaultPlanResolvesActiveProfiles) {
+  EnvVarGuard guard{"FBDCSIM_FAULTS"};
+  guard.set("heavy");
+  BenchEnv env;
+  const faults::FaultPlan* plan = env.fault_plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->enabled());
+  EXPECT_EQ(plan->config().profile, faults::Profile::kHeavy);
+  EXPECT_EQ(env.fault_plan(), plan);  // cached, one instance per env
+}
+
+}  // namespace
+}  // namespace fbdcsim::bench

@@ -1,0 +1,168 @@
+// Property tests for the sharded-accumulator merge laws. The parallel
+// runtime is only correct if merging per-shard accumulators is associative
+// and commutative with an identity — these suites drive core::Cdf::merge
+// and OnlineStats::merge through hundreds of seeded random cases per law.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/core/stats.h"
+
+namespace fbdcsim::core {
+namespace {
+
+constexpr int kCases = 200;
+
+/// A random Cdf with 0..64 samples drawn from a mix of scales (flow sizes
+/// span ~6 orders of magnitude in the paper's figures).
+Cdf random_cdf(RngStream& rng) {
+  Cdf cdf;
+  const std::int64_t n = rng.uniform_int(0, 64);
+  for (std::int64_t i = 0; i < n; ++i) {
+    cdf.add(rng.uniform() * std::pow(10.0, static_cast<double>(rng.uniform_int(0, 6))));
+  }
+  return cdf;
+}
+
+/// Exact multiset equality via the sorted sample views.
+void expect_same_samples(const Cdf& a, const Cdf& b) {
+  const auto sa = a.sorted_samples();
+  const auto sb = b.sorted_samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i], sb[i]) << "sample " << i;
+  }
+}
+
+TEST(CdfMergeLawsTest, MergeCommutes) {
+  RngStream rng{101};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const Cdf a = random_cdf(rng);
+    const Cdf b = random_cdf(rng);
+    Cdf ab = a;
+    ab.merge(b);
+    Cdf ba = b;
+    ba.merge(a);
+    expect_same_samples(ab, ba);
+    if (!ab.empty()) {
+      for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_EQ(ab.quantile(q), ba.quantile(q)) << q;
+      }
+    }
+  }
+}
+
+TEST(CdfMergeLawsTest, MergeAssociates) {
+  RngStream rng{102};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const Cdf a = random_cdf(rng);
+    const Cdf b = random_cdf(rng);
+    const Cdf d = random_cdf(rng);
+    Cdf left = a;  // (a + b) + d
+    left.merge(b);
+    left.merge(d);
+    Cdf bd = b;  // a + (b + d)
+    bd.merge(d);
+    Cdf right = a;
+    right.merge(bd);
+    expect_same_samples(left, right);
+  }
+}
+
+TEST(CdfMergeLawsTest, EmptyIsIdentity) {
+  RngStream rng{103};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const Cdf a = random_cdf(rng);
+    Cdf left;  // empty + a
+    left.merge(a);
+    Cdf right = a;  // a + empty
+    right.merge(Cdf{});
+    expect_same_samples(left, a);
+    expect_same_samples(right, a);
+  }
+}
+
+TEST(CdfMergeLawsTest, AnyMergeOrderMatchesBulkConstruction) {
+  RngStream rng{104};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    // Split one sample set into 5 shards, merge shards in a random order,
+    // and compare against the Cdf built from all samples at once.
+    std::vector<double> all;
+    std::vector<Cdf> shards{5};
+    const std::int64_t n = rng.uniform_int(0, 200);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double x = rng.exponential(1000.0);
+      all.push_back(x);
+      shards[static_cast<std::size_t>(rng.uniform_int(0, 4))].add(x);
+    }
+    std::vector<std::size_t> order(shards.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+
+    Cdf merged;
+    for (const std::size_t s : order) merged.merge(shards[s]);
+    const Cdf bulk{all};
+    expect_same_samples(merged, bulk);
+    if (!bulk.empty()) {
+      EXPECT_EQ(merged.median(), bulk.median());
+      EXPECT_EQ(merged.p99(), bulk.p99());
+    }
+  }
+}
+
+TEST(OnlineStatsMergeLawsTest, MergeCommutesWithinTolerance) {
+  RngStream rng{105};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    OnlineStats a;
+    OnlineStats b;
+    const std::int64_t na = rng.uniform_int(0, 50);
+    const std::int64_t nb = rng.uniform_int(0, 50);
+    for (std::int64_t i = 0; i < na; ++i) a.add(rng.normal(100.0, 25.0));
+    for (std::int64_t i = 0; i < nb; ++i) b.add(rng.normal(500.0, 50.0));
+    OnlineStats ab = a;
+    ab.merge(b);
+    OnlineStats ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_EQ(ab.min(), ba.min());
+    EXPECT_EQ(ab.max(), ba.max());
+    EXPECT_NEAR(ab.mean(), ba.mean(), 1e-9 * std::max(1.0, std::abs(ab.mean())));
+    EXPECT_NEAR(ab.variance(), ba.variance(), 1e-6 * std::max(1.0, ab.variance()));
+  }
+}
+
+TEST(OnlineStatsMergeLawsTest, ShardedMergeMatchesSerialAccumulation) {
+  RngStream rng{106};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    OnlineStats serial;
+    std::vector<OnlineStats> shards{4};
+    const std::int64_t n = rng.uniform_int(1, 120);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double x = rng.exponential(50.0);
+      serial.add(x);
+      shards[static_cast<std::size_t>(rng.uniform_int(0, 3))].add(x);
+    }
+    OnlineStats merged = shards[0];
+    for (std::size_t s = 1; s < shards.size(); ++s) merged.merge(shards[s]);
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.min(), serial.min());
+    EXPECT_EQ(merged.max(), serial.max());
+    EXPECT_NEAR(merged.sum(), serial.sum(), 1e-9 * std::max(1.0, serial.sum()));
+    EXPECT_NEAR(merged.mean(), serial.mean(), 1e-9 * std::max(1.0, serial.mean()));
+    EXPECT_NEAR(merged.stddev(), serial.stddev(), 1e-6 * std::max(1.0, serial.stddev()));
+  }
+}
+
+}  // namespace
+}  // namespace fbdcsim::core

@@ -1,0 +1,192 @@
+// Property tests for LinkStats::merge (the §4.1 per-shard accumulator) and
+// the fault-adjusted utilization view. Merge must commute and associate
+// with the empty accumulator as identity, over hundreds of seeded random
+// charge sets — the guarantee the parallel fleet runner's per-shard
+// LinkStats rely on.
+#include "fbdcsim/monitoring/link_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/topology/standard_fleet.h"
+
+namespace fbdcsim::monitoring {
+namespace {
+
+using core::DataSize;
+using core::Duration;
+using core::TimePoint;
+
+constexpr int kCases = 200;
+constexpr std::int64_t kMinutes = 3;
+
+class LinkStatsMergeLawsTest : public ::testing::Test {
+ protected:
+  LinkStatsMergeLawsTest()
+      : fleet_{topology::build_single_cluster_fleet(topology::ClusterType::kHadoop, 2, 2)},
+        net_{topology::FourPostBuilder{}.build(fleet_)} {}
+
+  /// A LinkStats with 0..40 random charges over random links and times.
+  LinkStats random_stats(core::RngStream& rng) const {
+    LinkStats stats{net_, Duration::minutes(kMinutes)};
+    const std::int64_t n = rng.uniform_int(0, 40);
+    const auto links = net_.links();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto& link = links[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1))];
+      const double start_s = rng.uniform(0.0, 150.0);
+      const double dur_s = rng.uniform(0.0, 30.0);
+      stats.add(link.id, TimePoint::from_seconds(start_s), Duration::nanos(static_cast<std::int64_t>(dur_s * 1e9)),
+                DataSize::bytes(rng.uniform_int(1, 100'000'000)));
+    }
+    return stats;
+  }
+
+  void expect_near_everywhere(const LinkStats& a, const LinkStats& b) const {
+    for (const topology::Link& link : net_.links()) {
+      for (std::int64_t m = 0; m < kMinutes; ++m) {
+        const double ua = a.utilization(link.id, m);
+        const double ub = b.utilization(link.id, m);
+        ASSERT_NEAR(ua, ub, 1e-12 * std::max(1.0, std::abs(ua)))
+            << "link " << link.id.value() << " minute " << m;
+      }
+    }
+  }
+
+  void expect_equal_everywhere(const LinkStats& a, const LinkStats& b) const {
+    for (const topology::Link& link : net_.links()) {
+      for (std::int64_t m = 0; m < kMinutes; ++m) {
+        ASSERT_EQ(a.utilization(link.id, m), b.utilization(link.id, m))
+            << "link " << link.id.value() << " minute " << m;
+      }
+    }
+  }
+
+  topology::Fleet fleet_;
+  topology::Network net_;
+};
+
+TEST_F(LinkStatsMergeLawsTest, MergeCommutes) {
+  core::RngStream rng{201};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const LinkStats a = random_stats(rng);
+    const LinkStats b = random_stats(rng);
+    LinkStats ab = a;
+    ab.merge(b);
+    LinkStats ba = b;
+    ba.merge(a);
+    // x + y == y + x bitwise: each cell sums the same two addends.
+    expect_equal_everywhere(ab, ba);
+  }
+}
+
+TEST_F(LinkStatsMergeLawsTest, MergeAssociatesWithinFloatTolerance) {
+  core::RngStream rng{202};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const LinkStats a = random_stats(rng);
+    const LinkStats b = random_stats(rng);
+    const LinkStats d = random_stats(rng);
+    LinkStats left = a;  // (a + b) + d
+    left.merge(b);
+    left.merge(d);
+    LinkStats bd = b;  // a + (b + d)
+    bd.merge(d);
+    LinkStats right = a;
+    right.merge(bd);
+    expect_near_everywhere(left, right);
+  }
+}
+
+TEST_F(LinkStatsMergeLawsTest, EmptyIsIdentity) {
+  core::RngStream rng{203};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const LinkStats a = random_stats(rng);
+    const LinkStats empty{net_, Duration::minutes(kMinutes)};
+    LinkStats left = empty;  // empty + a
+    left.merge(a);
+    LinkStats right = a;  // a + empty
+    right.merge(empty);
+    expect_equal_everywhere(left, a);
+    expect_equal_everywhere(right, a);
+  }
+}
+
+TEST_F(LinkStatsMergeLawsTest, ShardMergeMatchesSerialWithinTolerance) {
+  core::RngStream rng{204};
+  for (int c = 0; c < 50; ++c) {
+    SCOPED_TRACE(c);
+    LinkStats serial{net_, Duration::minutes(kMinutes)};
+    std::vector<LinkStats> shards;
+    for (int s = 0; s < 3; ++s) shards.emplace_back(net_, Duration::minutes(kMinutes));
+    const auto links = net_.links();
+    const std::int64_t n = rng.uniform_int(1, 60);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto& link = links[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1))];
+      const TimePoint start = TimePoint::from_seconds(rng.uniform(0.0, 150.0));
+      const Duration dur = Duration::nanos(rng.uniform_int(0, 20'000'000'000LL));
+      const DataSize bytes = DataSize::bytes(rng.uniform_int(1, 50'000'000));
+      serial.add(link.id, start, dur, bytes);
+      shards[static_cast<std::size_t>(rng.uniform_int(0, 2))].add(link.id, start, dur,
+                                                                  bytes);
+    }
+    LinkStats merged = shards[0];
+    merged.merge(shards[1]);
+    merged.merge(shards[2]);
+    expect_near_everywhere(merged, serial);
+  }
+}
+
+TEST_F(LinkStatsMergeLawsTest, FaultedUtilizationWithNullOrDisabledPlanIsExact) {
+  core::RngStream rng{205};
+  const LinkStats stats = random_stats(rng);
+  const faults::FaultPlan disabled{faults::FaultConfig{}};
+  for (const topology::Link& link : net_.links()) {
+    for (std::int64_t m = 0; m < kMinutes; ++m) {
+      const double plain = stats.utilization(link.id, m);
+      EXPECT_EQ(stats.faulted_utilization(link.id, m, nullptr), plain);
+      EXPECT_EQ(stats.faulted_utilization(link.id, m, &disabled), plain);
+    }
+  }
+}
+
+TEST_F(LinkStatsMergeLawsTest, FaultedUtilizationScalesByCapacityFactor) {
+  faults::FaultConfig cfg;
+  cfg.profile = faults::Profile::kCustom;
+  cfg.link_degrade_prob = 1.0;  // every link degraded every minute
+  cfg.link_degrade_factor = 0.5;
+  const faults::FaultPlan plan{cfg};
+
+  LinkStats stats{net_, Duration::minutes(1)};
+  const core::LinkId link = net_.access_uplink(core::HostId{0});
+  stats.add(link, TimePoint::zero(), Duration::seconds(60), DataSize::bytes(7'500'000'000));
+  // 10% of full capacity is 20% of half capacity.
+  EXPECT_NEAR(stats.utilization(link, 0), 0.10, 1e-9);
+  EXPECT_NEAR(stats.faulted_utilization(link, 0, &plan), 0.20, 1e-9);
+}
+
+TEST_F(LinkStatsMergeLawsTest, FaultedUtilizationOnFailedLinkSaturatesOrIdles) {
+  faults::FaultConfig cfg;
+  cfg.profile = faults::Profile::kCustom;
+  cfg.link_fail_prob = 1.0;  // every link hard-failed every minute
+  const faults::FaultPlan plan{cfg};
+
+  LinkStats stats{net_, Duration::minutes(2)};
+  const core::LinkId link = net_.access_uplink(core::HostId{0});
+  stats.add(link, TimePoint::zero(), Duration::seconds(30), DataSize::bytes(1'000));
+  // Charged minute: anything across a failed link means saturation.
+  EXPECT_DOUBLE_EQ(stats.faulted_utilization(link, 0, &plan), 1.0);
+  // Uncharged minute: a failed idle link is just idle.
+  EXPECT_DOUBLE_EQ(stats.faulted_utilization(link, 1, &plan), 0.0);
+}
+
+}  // namespace
+}  // namespace fbdcsim::monitoring

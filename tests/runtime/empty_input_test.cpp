@@ -1,0 +1,121 @@
+// Explicit empty- and minimal-input contracts for the parallel runners.
+// Before this suite existed, a zero-host fleet or an empty capture batch
+// silently exercised the full worker machinery; now both are defined no-ops
+// and single-element inputs are pinned to serial behavior.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "fbdcsim/runtime/parallel_capture.h"
+#include "fbdcsim/runtime/sharded_fleet.h"
+#include "fbdcsim/topology/entities.h"
+
+namespace fbdcsim::runtime {
+namespace {
+
+using core::FlowRecord;
+
+topology::Fleet single_host_fleet() {
+  topology::FleetBuilder b;
+  const auto site = b.add_site("prn");
+  const auto dc = b.add_datacenter(site);
+  const auto cluster = b.add_cluster(dc, topology::ClusterType::kHadoop);
+  const auto rack = b.add_rack(cluster, core::HostRole::kHadoop);
+  b.add_host(rack);
+  return b.build();
+}
+
+TEST(EmptyInputTest, ShardedRunnerOnEmptyFleetIsANoOp) {
+  const topology::Fleet fleet = topology::FleetBuilder{}.build();
+  ASSERT_EQ(fleet.num_hosts(), 0u);
+  workload::FleetGenConfig cfg;
+  cfg.horizon = core::Duration::minutes(30);
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+  ThreadPool pool{2};
+  const ShardedFleetRunner runner{gen, pool};
+
+  EXPECT_EQ(runner.num_hosts(), 0u);
+  EXPECT_EQ(runner.num_shards(), 0u);
+  std::int64_t seen = 0;
+  runner.stream([&](const FlowRecord&) { ++seen; });
+  EXPECT_EQ(seen, 0);
+  EXPECT_TRUE(runner.collect_flows().empty());
+}
+
+TEST(EmptyInputTest, ShardedRunnerOnEmptyFleetStaysUsableAcrossCalls) {
+  const topology::Fleet fleet = topology::FleetBuilder{}.build();
+  const workload::FleetFlowGenerator gen{fleet, workload::FleetGenConfig{}};
+  ThreadPool pool{1};
+  const ShardedFleetRunner runner{gen, pool};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(runner.collect_flows().empty()) << i;
+  }
+  // The pool is still healthy for real work after the no-op runs.
+  const ParallelCaptureRunner capture{pool};
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 7; });
+  EXPECT_EQ(capture.run(tasks).at(0), 7);
+}
+
+TEST(EmptyInputTest, ShardedRunnerSingleHostMatchesSerialForAnyWorkerCount) {
+  const topology::Fleet fleet = single_host_fleet();
+  workload::FleetGenConfig cfg;
+  cfg.horizon = core::Duration::hours(1);
+  cfg.seed = 5;
+  const workload::FleetFlowGenerator gen{fleet, cfg};
+
+  std::vector<FlowRecord> serial;
+  gen.generate([&](const FlowRecord& f) { serial.push_back(f); });
+
+  for (const int workers : {1, 4}) {
+    SCOPED_TRACE(workers);
+    ThreadPool pool{workers};
+    const ShardedFleetRunner runner{gen, pool};
+    EXPECT_EQ(runner.num_hosts(), 1u);
+    EXPECT_EQ(runner.num_shards(), 1u);  // one shard: merge order is trivial
+    const auto parallel = runner.collect_flows();
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].tuple, serial[i].tuple) << i;
+      EXPECT_EQ(parallel[i].start.count_nanos(), serial[i].start.count_nanos()) << i;
+      EXPECT_EQ(parallel[i].bytes.count_bytes(), serial[i].bytes.count_bytes()) << i;
+    }
+  }
+}
+
+TEST(EmptyInputTest, ParallelCaptureEmptyBatchReturnsEmpty) {
+  ThreadPool pool{2};
+  const ParallelCaptureRunner capture{pool};
+  const std::vector<std::function<int()>> none;
+  const auto results = capture.run(none);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(EmptyInputTest, ParallelCaptureEmptyBatchLeavesPoolUsable) {
+  ThreadPool pool{1};
+  const ParallelCaptureRunner capture{pool};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(capture.run(std::vector<std::function<int()>>{}).empty()) << i;
+  }
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 1; });
+  tasks.push_back([] { return 2; });
+  const auto results = capture.run(tasks);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], 1);
+  EXPECT_EQ(results[1], 2);
+}
+
+TEST(EmptyInputTest, ParallelCaptureSingleTaskPreservesOrderTrivially) {
+  ThreadPool pool{4};
+  const ParallelCaptureRunner capture{pool};
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 99; });
+  const auto results = capture.run(tasks);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 99);
+}
+
+}  // namespace
+}  // namespace fbdcsim::runtime

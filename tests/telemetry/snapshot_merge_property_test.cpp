@@ -1,0 +1,204 @@
+// Property tests for telemetry::Snapshot::merge — the combine step behind
+// every multi-registry aggregation (bench JSON reports, sharded capture
+// summaries). Counters and histogram bins must sum, gauges must take the
+// max, and the whole operation must commute and associate with the empty
+// snapshot as identity, for hundreds of seeded random snapshots.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/telemetry/metrics.h"
+
+namespace fbdcsim::telemetry {
+namespace {
+
+constexpr int kCases = 200;
+
+// Name pools are pre-sorted: merge_sorted expects sections sorted by name,
+// the invariant MetricsRegistry::snapshot() maintains.
+const std::vector<std::string> kCounterNames{"a.events", "b.drops", "c.bytes", "d.rows",
+                                             "e.retries", "f.flows"};
+const std::vector<std::string> kGaugeNames{"g.depth", "h.watermark", "i.width"};
+const std::vector<std::string> kHistNames{"x.latency", "y.size"};
+
+Snapshot random_snapshot(core::RngStream& rng) {
+  Snapshot snap;
+  for (const std::string& name : kCounterNames) {
+    if (rng.bernoulli(0.6)) {
+      snap.counters.push_back({name, Kind::kSim, rng.uniform_int(0, 1'000'000)});
+    }
+  }
+  for (const std::string& name : kGaugeNames) {
+    if (rng.bernoulli(0.6)) {
+      snap.gauges.push_back({name, Kind::kSim, rng.uniform_int(-100, 1'000)});
+    }
+  }
+  for (const std::string& name : kHistNames) {
+    if (!rng.bernoulli(0.6)) continue;
+    Snapshot::HistogramValue h;
+    h.name = name;
+    h.kind = Kind::kSim;
+    h.count = rng.uniform_int(0, 500);
+    if (h.count > 0) {
+      h.min = rng.uniform_int(0, 10);
+      h.max = h.min + rng.uniform_int(0, 1'000);
+      h.sum = static_cast<double>(h.count) * rng.uniform(1.0, 100.0);
+      h.bins.resize(static_cast<std::size_t>(rng.uniform_int(1, 16)));
+      std::int64_t left = h.count;
+      for (std::size_t b = 0; b + 1 < h.bins.size() && left > 0; ++b) {
+        h.bins[b] = rng.uniform_int(0, left);
+        left -= h.bins[b];
+      }
+      h.bins.back() = left;
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void expect_equivalent(const Snapshot& a, const Snapshot& b) {
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    ASSERT_EQ(a.counters[i].name, b.counters[i].name);
+    ASSERT_EQ(a.counters[i].kind, b.counters[i].kind);
+    ASSERT_EQ(a.counters[i].value, b.counters[i].value) << a.counters[i].name;
+  }
+  ASSERT_EQ(a.gauges.size(), b.gauges.size());
+  for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+    ASSERT_EQ(a.gauges[i].name, b.gauges[i].name);
+    ASSERT_EQ(a.gauges[i].value, b.gauges[i].value) << a.gauges[i].name;
+  }
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+    const auto& ha = a.histograms[i];
+    const auto& hb = b.histograms[i];
+    ASSERT_EQ(ha.name, hb.name);
+    ASSERT_EQ(ha.count, hb.count) << ha.name;
+    if (ha.count > 0) {
+      ASSERT_EQ(ha.min, hb.min) << ha.name;
+      ASSERT_EQ(ha.max, hb.max) << ha.name;
+      ASSERT_NEAR(ha.sum, hb.sum, 1e-9 * std::max(1.0, std::abs(ha.sum))) << ha.name;
+    }
+    // Bin counts match up to trailing zeros (merge only grows as needed).
+    const std::size_t bins = std::max(ha.bins.size(), hb.bins.size());
+    for (std::size_t b = 0; b < bins; ++b) {
+      const std::int64_t va = b < ha.bins.size() ? ha.bins[b] : 0;
+      const std::int64_t vb = b < hb.bins.size() ? hb.bins[b] : 0;
+      ASSERT_EQ(va, vb) << ha.name << " bin " << b;
+    }
+  }
+}
+
+TEST(SnapshotMergeLawsTest, MergeCommutes) {
+  core::RngStream rng{301};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const Snapshot a = random_snapshot(rng);
+    const Snapshot b = random_snapshot(rng);
+    Snapshot ab = a;
+    ab.merge(b);
+    Snapshot ba = b;
+    ba.merge(a);
+    expect_equivalent(ab, ba);
+  }
+}
+
+TEST(SnapshotMergeLawsTest, MergeAssociates) {
+  core::RngStream rng{302};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const Snapshot a = random_snapshot(rng);
+    const Snapshot b = random_snapshot(rng);
+    const Snapshot d = random_snapshot(rng);
+    Snapshot left = a;  // (a + b) + d
+    left.merge(b);
+    left.merge(d);
+    Snapshot bd = b;  // a + (b + d)
+    bd.merge(d);
+    Snapshot right = a;
+    right.merge(bd);
+    expect_equivalent(left, right);
+  }
+}
+
+TEST(SnapshotMergeLawsTest, EmptyIsIdentity) {
+  core::RngStream rng{303};
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(c);
+    const Snapshot a = random_snapshot(rng);
+    Snapshot left;  // empty + a
+    left.merge(a);
+    Snapshot right = a;  // a + empty
+    right.merge(Snapshot{});
+    expect_equivalent(left, a);
+    expect_equivalent(right, a);
+  }
+}
+
+TEST(SnapshotMergeLawsTest, DisjointNamesUnionAndStaySorted) {
+  Snapshot a;
+  a.counters.push_back({"alpha", Kind::kSim, 1});
+  a.counters.push_back({"gamma", Kind::kSim, 3});
+  Snapshot b;
+  b.counters.push_back({"beta", Kind::kWall, 2});
+  b.counters.push_back({"delta", Kind::kSim, 4});
+  a.merge(b);
+  ASSERT_EQ(a.counters.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(
+      a.counters.begin(), a.counters.end(),
+      [](const auto& x, const auto& y) { return x.name < y.name; }));
+  EXPECT_EQ(a.counter("beta")->value, 2);
+  EXPECT_EQ(a.counter("beta")->kind, Kind::kWall);
+  EXPECT_EQ(a.counter("gamma")->value, 3);
+}
+
+TEST(SnapshotMergeLawsTest, CountersSumAndGaugesTakeMax) {
+  Snapshot a;
+  a.counters.push_back({"events", Kind::kSim, 40});
+  a.gauges.push_back({"depth", Kind::kSim, 7});
+  Snapshot b;
+  b.counters.push_back({"events", Kind::kSim, 2});
+  b.gauges.push_back({"depth", Kind::kSim, 3});
+  a.merge(b);
+  EXPECT_EQ(a.counter("events")->value, 42);
+  EXPECT_EQ(a.gauge("depth")->value, 7);  // max, not sum
+}
+
+TEST(SnapshotMergeLawsTest, EmptyHistogramSideKeepsPopulatedStats) {
+  Snapshot a;
+  Snapshot::HistogramValue empty;
+  empty.name = "lat";
+  a.histograms.push_back(empty);
+  Snapshot b;
+  Snapshot::HistogramValue full;
+  full.name = "lat";
+  full.count = 5;
+  full.min = 2;
+  full.max = 9;
+  full.sum = 25.0;
+  full.bins = {1, 4};
+  b.histograms.push_back(full);
+  a.merge(b);
+  const auto* h = a.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 5);
+  EXPECT_EQ(h->min, 2);  // not the empty side's sentinel zero
+  EXPECT_EQ(h->max, 9);
+  EXPECT_DOUBLE_EQ(h->sum, 25.0);
+}
+
+TEST(SnapshotMergeLawsTest, MismatchedKindsThrow) {
+  Snapshot a;
+  a.counters.push_back({"events", Kind::kSim, 1});
+  Snapshot b;
+  b.counters.push_back({"events", Kind::kWall, 1});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fbdcsim::telemetry
