@@ -167,6 +167,30 @@ std::string trace_path_for(const std::string& report_path) {
 BenchReport::BenchReport(std::string name, std::uint64_t seed)
     : name_{std::move(name)}, seed_{seed}, start_{std::chrono::steady_clock::now()} {}
 
+void BenchReport::set_extra(const std::string& key, std::string json_value) {
+  for (auto& [k, v] : extras_) {
+    if (k == key) {
+      v = std::move(json_value);
+      return;
+    }
+  }
+  extras_.emplace_back(key, std::move(json_value));
+}
+
+void BenchReport::add_extra(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  set_extra(key, buf);
+}
+
+void BenchReport::add_extra(const std::string& key, std::int64_t value) {
+  set_extra(key, std::to_string(value));
+}
+
+void BenchReport::add_extra(const std::string& key, const std::string& value) {
+  set_extra(key, "\"" + telemetry::json_escape(value) + "\"");
+}
+
 std::string BenchReport::report_path() const {
   return resolve_out_path("bench_" + name_ + ".json");
 }
@@ -220,7 +244,20 @@ std::string BenchReport::to_json() const {
   } else {
     out += "\"sim_events_per_sec\":null";
   }
-  out += "},\"metrics\":" + telemetry::to_json(snap);
+  out += "}";
+  // Bench-specific scalars (speedups, per-engine rates, ...). Only present
+  // when the bench recorded some, so older reports stay byte-identical.
+  if (!extras_.empty()) {
+    out += ",\"extra\":{";
+    bool first = true;
+    for (const auto& [key, value] : extras_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + telemetry::json_escape(key) + "\":" + value;
+    }
+    out += "}";
+  }
+  out += ",\"metrics\":" + telemetry::to_json(snap);
   out += "}";
   return out;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fbdcsim/analysis/resolver.h"
@@ -55,6 +56,14 @@ class BenchReport {
   /// The exit status the bench is about to return (recorded in the JSON).
   void set_status(int status) { status_ = status; }
 
+  /// Records a bench-specific scalar under the report's "extra" object, in
+  /// insertion order. The section is emitted only when at least one value
+  /// was added, so reports from benches that never call this stay
+  /// byte-identical to pre-"extra" ones. Re-adding a key overwrites it.
+  void add_extra(const std::string& key, double value);
+  void add_extra(const std::string& key, std::int64_t value);
+  void add_extra(const std::string& key, const std::string& value);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::string report_path() const;
   [[nodiscard]] std::string trace_path() const;
@@ -63,10 +72,14 @@ class BenchReport {
   [[nodiscard]] std::string to_json() const;
 
  private:
+  void set_extra(const std::string& key, std::string json_value);
+
   std::string name_;
   std::uint64_t seed_;
   int status_{0};
   std::chrono::steady_clock::time_point start_;
+  /// (key, pre-rendered JSON value) pairs, in first-insertion order.
+  std::vector<std::pair<std::string, std::string>> extras_;
 };
 
 /// FBDCSIM_BENCH_SECONDS as a validated value (std::nullopt when unset or

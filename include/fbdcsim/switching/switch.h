@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "fbdcsim/core/arena.h"
 #include "fbdcsim/core/ids.h"
 #include "fbdcsim/core/packet.h"
 #include "fbdcsim/core/time.h"
@@ -108,7 +108,7 @@ class SharedBufferSwitch {
     core::TimePoint arrival;
   };
   struct Port {
-    std::deque<Queued> queue;
+    core::PoolQueue<Queued> queue;
     std::int64_t queued_bytes{0};
     bool transmitting{false};
     core::DataRate rate;
@@ -120,6 +120,11 @@ class SharedBufferSwitch {
   sim::Simulator* sim_;
   SwitchConfig config_;
   DeliverFn deliver_;
+  // Packet queue nodes come from the switch's arena and recycle through the
+  // pool free list, so steady-state enqueue/dequeue never calls malloc.
+  // Declared before ports_ so queues are destroyed before their pool.
+  core::Arena arena_;
+  core::Pool<core::PoolQueue<Queued>::Node> node_pool_{arena_};
   std::vector<Port> ports_;
   std::int64_t buffered_bytes_{0};
 };

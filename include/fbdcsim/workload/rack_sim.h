@@ -53,6 +53,10 @@ struct RackSimConfig {
   /// the mirrored host's trace are unaffected; keep at 1.0 for the buffer
   /// experiments (Figure 15), lower it to speed up trace-only experiments.
   double background_rate_scale = 1.0;
+  /// Event-engine selection. kBucketed is the production engine;
+  /// kReference exists for the differential bit-identity harness
+  /// (tests/sim/engine_differential_*) and engine benchmarks.
+  sim::Simulator::Engine engine = sim::Simulator::Engine::kBucketed;
   /// Optional fault schedule (must outlive the simulation). When set and
   /// enabled: the RSW shared buffer may start shrunken, failed uplinks
   /// leave the ECMP set, degraded uplinks run at reduced rate, and the
@@ -107,7 +111,7 @@ class RackSimulation : public services::TrafficSink {
   services::ServiceMix background_mix_;
   core::RackId rack_;
 
-  sim::Simulator sim_;
+  sim::Simulator sim_{config_.engine};
   std::unique_ptr<switching::SharedBufferSwitch> rsw_;
   std::unique_ptr<switching::BufferOccupancySampler> sampler_;
   monitoring::CaptureBuffer capture_buffer_;

@@ -1,8 +1,7 @@
 #include "fbdcsim/sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
-
-#include "fbdcsim/telemetry/telemetry.h"
 
 #if FBDCSIM_TELEMETRY_ENABLED
 #include <chrono>
@@ -50,23 +49,153 @@ class RunMetricsScope {
 }  // namespace
 #endif
 
-void Simulator::schedule_at(TimePoint at, Action action) {
-  if (at < now_) throw std::invalid_argument{"Simulator: cannot schedule in the past"};
-  queue_.push(Event{at, next_seq_++, std::move(action)});
+namespace {
+
+/// (time, seq) ascending — the execution order.
+template <typename E>
+bool earlier(const E& a, const E& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+void Simulator::schedule_bucketed(TimePoint at, Action action) {
+  const std::int64_t idx = bucket_of(at);
+  Event ev{at, next_seq_++, std::move(action)};
+  ++size_;
+  if (draining_ && idx <= cursor_) {
+    // Scheduled (from an executing action) into the bucket being drained:
+    // the heap keeps the in-progress sorted scan valid without re-sorting
+    // the bucket vector per schedule.
+    active_.push(std::move(ev));
+    return;
+  }
+  if (idx >= cursor_ + kWheelSize) {
+    overflow_.push(std::move(ev));
+    return;
+  }
+  // idx < cursor_ happens when the cursor passed the event's natural bucket
+  // but `at` is still >= now() (e.g. after a horizon stop mid-bucket); the
+  // event is folded into the current bucket and the per-bucket (time, seq)
+  // sort puts it first.
+  Bucket& b = wheel_[(idx <= cursor_ ? cursor_ : idx) & kWheelMask];
+  if (b.pos == b.items.size() && b.pos != 0) {
+    // Everything in the bucket already executed; drop the stale prefix.
+    b.items.clear();
+    b.pos = 0;
+    b.dirty = false;
+  }
+  if (!b.dirty && !b.items.empty() && ev.at < b.items.back().at) b.dirty = true;
+  b.items.push_back(std::move(ev));
+}
+
+void Simulator::schedule_reference(TimePoint at, std::function<void()> action) {
+  ref_queue_.push(RefEvent{at, next_seq_++, std::move(action)});
+  ++size_;
+}
+
+void Simulator::migrate_overflow() {
+  // Overflow pops in (time, seq) order and the bucket index is monotone in
+  // time, so the now-in-window events are exactly the heap's top prefix.
+  const std::int64_t limit = cursor_ + kWheelSize;
+  while (!overflow_.empty() && bucket_of(overflow_.top().at) < limit) {
+    Event ev = std::move(const_cast<Event&>(overflow_.top()));
+    overflow_.pop();
+    Bucket& b = wheel_[bucket_of(ev.at) & kWheelMask];
+    if (!b.dirty && !b.items.empty() && ev.at < b.items.back().at) b.dirty = true;
+    b.items.push_back(std::move(ev));
+  }
+}
+
+void Simulator::run_loop(TimePoint horizon, bool bounded) {
+  // Every iteration re-derives its state from the member fields, so an
+  // action calling clear() (or scheduling more work) is always observed.
+  for (;;) {
+    if (size_ == 0) break;
+
+    Bucket& b = wheel_[cursor_ & kWheelMask];
+    if (b.dirty) {
+      b.items.erase(b.items.begin(),
+                    b.items.begin() + static_cast<std::ptrdiff_t>(b.pos));
+      b.pos = 0;
+      std::sort(b.items.begin(), b.items.end(), earlier<Event>);
+      b.dirty = false;
+    }
+
+    const bool bucket_has = b.pos < b.items.size();
+    if (!bucket_has && active_.empty()) {
+      b.items.clear();
+      b.pos = 0;
+      if (size_ == overflow_.size()) {
+        // Wheel empty: jump straight to the earliest overflow event.
+        if (bounded && overflow_.top().at > horizon) break;
+        cursor_ = bucket_of(overflow_.top().at);
+      } else {
+        ++cursor_;
+      }
+      migrate_overflow();
+      continue;
+    }
+
+    // Next event = min of the bucket front and the active heap.
+    bool from_active = !bucket_has;
+    if (bucket_has && !active_.empty()) {
+      from_active = earlier(active_.top(), b.items[b.pos]);
+    }
+    const Event& peek = from_active ? active_.top() : b.items[b.pos];
+    if (bounded && peek.at > horizon) break;
+
+    Event ev = from_active ? std::move(const_cast<Event&>(active_.top()))
+                           : std::move(b.items[b.pos]);
+    if (from_active) {
+      active_.pop();
+    } else {
+      ++b.pos;
+    }
+    --size_;
+    now_ = ev.at;
+    ++executed_;
+    draining_ = true;
+    ev.action();
+    draining_ = false;
+  }
+  draining_ = false;
+
+  // A horizon stop can leave active-heap events pending; fold them back
+  // into their bucket so the "active_ empty outside the drain" invariant
+  // holds for the next schedule/run.
+  if (!active_.empty()) {
+    Bucket& b = wheel_[cursor_ & kWheelMask];
+    while (!active_.empty()) {
+      b.items.push_back(std::move(const_cast<Event&>(active_.top())));
+      active_.pop();
+    }
+    b.dirty = true;
+  }
+}
+
+void Simulator::run_loop_reference(TimePoint horizon, bool bounded) {
+  while (!ref_queue_.empty() && (!bounded || ref_queue_.top().at <= horizon)) {
+    // priority_queue::top() is const; moving the action out requires a cast.
+    // The pop immediately after makes this safe.
+    RefEvent ev = std::move(const_cast<RefEvent&>(ref_queue_.top()));
+    ref_queue_.pop();
+    --size_;
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+  }
 }
 
 void Simulator::run_until(TimePoint horizon) {
 #if FBDCSIM_TELEMETRY_ENABLED
   RunMetricsScope metrics{executed_};
 #endif
-  while (!queue_.empty() && queue_.top().at <= horizon) {
-    // priority_queue::top() is const; moving the action out requires a cast.
-    // The pop immediately after makes this safe.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ++executed_;
-    ev.action();
+  if (engine_ == Engine::kReference) {
+    run_loop_reference(horizon, /*bounded=*/true);
+  } else {
+    run_loop(horizon, /*bounded=*/true);
   }
   if (now_ < horizon) now_ = horizon;
 }
@@ -75,30 +204,38 @@ void Simulator::run() {
 #if FBDCSIM_TELEMETRY_ENABLED
   RunMetricsScope metrics{executed_};
 #endif
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    ++executed_;
-    ev.action();
+  if (engine_ == Engine::kReference) {
+    run_loop_reference(TimePoint{}, /*bounded=*/false);
+  } else {
+    run_loop(TimePoint{}, /*bounded=*/false);
   }
 }
 
 void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
+  for (Bucket& b : wheel_) {
+    b.items.clear();
+    b.pos = 0;
+    b.dirty = false;
+  }
+  while (!active_.empty()) active_.pop();
+  while (!overflow_.empty()) overflow_.pop();
+  while (!ref_queue_.empty()) ref_queue_.pop();
+  size_ = 0;
 }
 
 PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, Tick tick)
-    : sim_{&sim}, period_{period}, tick_{std::move(tick)}, alive_{std::make_shared<bool>(true)} {
-  if (period_ <= Duration{}) throw std::invalid_argument{"PeriodicTimer: period must be positive"};
-  arm(sim_->now() + period_);
+    : state_{std::make_shared<State>(State{&sim, period, std::move(tick), true})} {
+  if (period <= Duration{}) throw std::invalid_argument{"PeriodicTimer: period must be positive"};
+  arm(state_, sim.now() + period);
 }
 
-void PeriodicTimer::arm(TimePoint at) {
-  sim_->schedule_at(at, [this, at, alive = alive_] {
-    if (!*alive) return;
-    tick_(at);
-    if (*alive) arm(at + period_);
+void PeriodicTimer::arm(const std::shared_ptr<State>& state, TimePoint at) {
+  // The event owns a reference to the state, so destroying the timer from
+  // inside its own tick leaves the executing callback valid.
+  state->sim->schedule_at(at, [st = state, at] {
+    if (!st->alive) return;
+    st->tick(at);
+    if (st->alive) arm(st, at + st->period);
   });
 }
 

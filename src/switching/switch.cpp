@@ -29,7 +29,10 @@ SharedBufferSwitch::SharedBufferSwitch(sim::Simulator& sim, SwitchConfig config,
     throw std::invalid_argument{"SharedBufferSwitch: bad buffer config"};
   }
   ports_.resize(config_.num_ports);
-  for (Port& p : ports_) p.rate = config_.port_rate;
+  for (Port& p : ports_) {
+    p.rate = config_.port_rate;
+    p.queue.attach(node_pool_);
+  }
 }
 
 bool SharedBufferSwitch::enqueue(std::size_t port_index, const SimPacket& packet) {

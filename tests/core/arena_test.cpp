@@ -1,0 +1,157 @@
+#include "fbdcsim/core/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fbdcsim::core {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  std::vector<std::byte*> blocks;
+  for (int i = 1; i <= 64; ++i) {
+    auto* p = static_cast<std::byte*>(arena.allocate(static_cast<std::size_t>(i), 8));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    std::memset(p, i, static_cast<std::size_t>(i));  // ASan catches overlap/OOB
+    blocks.push_back(p);
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(blocks[i][0]), static_cast<int>(i + 1));
+  }
+}
+
+TEST(ArenaTest, MaxAlignRequestsAreHonored) {
+  Arena arena;
+  arena.allocate(1, 1);  // knock the bump pointer off alignment
+  void* p = arena.allocate(32, alignof(std::max_align_t));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t), 0u);
+}
+
+TEST(ArenaTest, GrowsBeyondOneChunk) {
+  Arena arena{Arena::kDefaultChunkBytes};
+  const std::int64_t before = arena.bytes_from_system();
+  for (int i = 0; i < 3000; ++i) arena.allocate(64, 8);  // ~192 KiB total
+  EXPECT_GT(arena.bytes_from_system(), before);
+  EXPECT_GE(arena.bytes_from_system(), 3 * 64 * 1024);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena;
+  auto* p = static_cast<std::byte*>(arena.allocate(1 << 20, 8));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 1 << 20);
+}
+
+TEST(ArenaTest, ResetRecyclesChunksWithoutNewSystemMemory) {
+  Arena arena;
+  for (int i = 0; i < 3000; ++i) arena.allocate(64, 8);
+  const std::int64_t grown = arena.bytes_from_system();
+  const std::int64_t reused_before = arena.chunks_reused();
+  arena.reset();
+  for (int i = 0; i < 3000; ++i) arena.allocate(64, 8);
+  EXPECT_EQ(arena.bytes_from_system(), grown);  // no new mallocs
+  EXPECT_GT(arena.chunks_reused(), reused_before);
+}
+
+TEST(PoolTest, CreateDestroyRecyclesSlots) {
+  Arena arena;
+  Pool<std::int64_t> pool{arena};
+  std::int64_t* a = pool.create(41);
+  EXPECT_EQ(*a, 41);
+  EXPECT_EQ(pool.live(), 1);
+  pool.destroy(a);
+  EXPECT_EQ(pool.live(), 0);
+  std::int64_t* b = pool.create(42);
+  EXPECT_EQ(b, a);  // freed slot comes back first
+  EXPECT_EQ(*b, 42);
+  EXPECT_EQ(pool.reused(), 1);
+  pool.destroy(b);
+}
+
+TEST(PoolTest, DestructorsRunExactlyOnce) {
+  struct Probe {
+    int* destroyed;
+    explicit Probe(int* d) : destroyed{d} {}
+    ~Probe() { ++*destroyed; }
+  };
+  int destroyed = 0;
+  Arena arena;
+  Pool<Probe> pool{arena};
+  Probe* p = pool.create(&destroyed);
+  pool.destroy(p);
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(PoolQueueTest, FifoOrder) {
+  Arena arena;
+  Pool<PoolQueue<int>::Node> pool{arena};
+  PoolQueue<int> q;
+  q.attach(pool);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(pool.live(), 0);
+}
+
+TEST(PoolQueueTest, SteadyStateReusesNodes) {
+  Arena arena;
+  Pool<PoolQueue<int>::Node> pool{arena};
+  PoolQueue<int> q;
+  q.attach(pool);
+  q.push_back(0);
+  const std::int64_t grown = arena.bytes_from_system();
+  for (int i = 1; i <= 10'000; ++i) {
+    q.push_back(i);
+    q.pop_front();
+  }
+  // The first loop push allocates a second slot (nothing freed yet); every
+  // later push reuses it.
+  EXPECT_EQ(arena.bytes_from_system(), grown);
+  EXPECT_GE(pool.reused(), 9'999);
+  q.clear();
+}
+
+TEST(PoolQueueTest, ClearDestroysAllValues) {
+  struct Probe {
+    int* destroyed;
+    ~Probe() { ++*destroyed; }
+  };
+  int destroyed = 0;
+  Arena arena;
+  Pool<PoolQueue<Probe>::Node> pool{arena};
+  {
+    PoolQueue<Probe> q;
+    q.attach(pool);
+    for (int i = 0; i < 5; ++i) q.push_back(Probe{&destroyed});
+    destroyed = 0;  // ignore temporaries moved from during push_back
+    q.clear();
+    EXPECT_EQ(destroyed, 5);
+  }
+  EXPECT_EQ(pool.live(), 0);
+}
+
+TEST(PoolQueueTest, MoveTransfersOwnership) {
+  Arena arena;
+  Pool<PoolQueue<int>::Node> pool{arena};
+  PoolQueue<int> a;
+  a.attach(pool);
+  a.push_back(7);
+  a.push_back(8);
+  PoolQueue<int> b{std::move(a)};
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from is empty by contract
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.front(), 7);
+  b.clear();
+}
+
+}  // namespace
+}  // namespace fbdcsim::core

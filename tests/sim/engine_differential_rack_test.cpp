@@ -1,0 +1,139 @@
+// Differential engine harness, part 1: workload presets × fault profiles.
+//
+// Every monitored-role preset runs twice — once on the reference heap
+// engine (the pre-rewrite binary-heap/std::function implementation, kept
+// verbatim as Engine::kReference) and once on the bucketed engine — and
+// the results must be bit-identical: the packet trace, every switch
+// counter, executed_events(), and the Kind::kSim section of the telemetry
+// snapshot (the same JSON section the golden scorecard gate compares).
+// Fault profiles off and heavy both run, so the fault-injection paths
+// (shrunken buffers, failed uplinks, mirror drops) are covered too.
+//
+// gtest_discover_tests runs each case in its own process, so resetting the
+// global metrics registry between the two engine runs is safe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/telemetry/export.h"
+#include "fbdcsim/telemetry/telemetry.h"
+#include "fbdcsim/topology/standard_fleet.h"
+#include "fbdcsim/workload/presets.h"
+#include "fbdcsim/workload/rack_sim.h"
+
+namespace fbdcsim::workload {
+namespace {
+
+using core::HostRole;
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Order-sensitive fingerprint of everything a rack run produces.
+std::uint64_t fingerprint(const RackSimResult& r) {
+  std::uint64_t h = 0;
+  for (const core::PacketHeader& p : r.trace) {
+    h = mix64(h, static_cast<std::uint64_t>(p.timestamp.count_nanos()));
+    h = mix64(h, p.tuple.src_ip.value());
+    h = mix64(h, p.tuple.dst_ip.value());
+    h = mix64(h, (static_cast<std::uint64_t>(p.tuple.src_port) << 16) | p.tuple.dst_port);
+    h = mix64(h, static_cast<std::uint64_t>(p.tuple.protocol));
+    h = mix64(h, static_cast<std::uint64_t>(p.frame_bytes));
+    h = mix64(h, static_cast<std::uint64_t>(p.payload_bytes));
+    h = mix64(h, static_cast<std::uint64_t>(p.flags.syn) | (static_cast<std::uint64_t>(p.flags.ack) << 1) |
+                     (static_cast<std::uint64_t>(p.flags.fin) << 2) |
+                     (static_cast<std::uint64_t>(p.flags.rst) << 3) |
+                     (static_cast<std::uint64_t>(p.flags.psh) << 4));
+  }
+  for (const auto& s : r.buffer_seconds) {
+    h = mix64(h, static_cast<std::uint64_t>(s.second));
+    h = mix64(h, static_cast<std::uint64_t>(s.median_fraction * 1e12));
+    h = mix64(h, static_cast<std::uint64_t>(s.max_fraction * 1e12));
+  }
+  for (const switching::PortCounters& c : {r.uplink, r.downlinks}) {
+    h = mix64(h, static_cast<std::uint64_t>(c.tx_packets));
+    h = mix64(h, static_cast<std::uint64_t>(c.tx_bytes));
+    h = mix64(h, static_cast<std::uint64_t>(c.enqueued_packets));
+    h = mix64(h, static_cast<std::uint64_t>(c.dropped_packets));
+    h = mix64(h, static_cast<std::uint64_t>(c.dropped_bytes));
+    h = mix64(h, static_cast<std::uint64_t>(c.queuing_delay_ns));
+    h = mix64(h, static_cast<std::uint64_t>(c.max_queuing_delay_ns));
+  }
+  h = mix64(h, static_cast<std::uint64_t>(r.capture_dropped));
+  h = mix64(h, static_cast<std::uint64_t>(r.capture_injected_dropped));
+  h = mix64(h, r.events);
+  return h;
+}
+
+/// The deterministic (Kind::kSim) section of the metrics snapshot, as the
+/// byte-stable JSON the golden gate uses.
+std::string sim_metrics_json() {
+  const std::string json =
+      telemetry::to_json(telemetry::MetricsRegistry::global().snapshot());
+  const std::size_t sim = json.find("\"sim\":");
+  const std::size_t wall = json.find(",\"wall\":");
+  if (sim == std::string::npos || wall == std::string::npos) return json;
+  return json.substr(sim, wall - sim);
+}
+
+struct Outcome {
+  std::uint64_t fingerprint;
+  std::uint64_t events;
+  std::size_t trace_len;
+  std::string sim_metrics;
+};
+
+Outcome run_once(sim::Simulator::Engine engine, HostRole role, bool heavy_faults) {
+  const topology::Fleet fleet = build_rack_experiment_fleet();
+  RackSimConfig cfg = default_rack_config(fleet, role, core::Duration::millis(300));
+  cfg.warmup = core::Duration::millis(100);
+  cfg.engine = engine;
+  cfg.sample_buffer = true;
+  faults::FaultConfig fault_cfg = faults::heavy_profile();
+  faults::FaultPlan plan{fault_cfg};
+  if (heavy_faults) cfg.faults = &plan;
+
+  telemetry::MetricsRegistry::global().reset();
+  RackSimulation rack{fleet, cfg};
+  const RackSimResult result = rack.run();
+  return Outcome{fingerprint(result), result.events, result.trace.size(),
+                 sim_metrics_json()};
+}
+
+using RackParam = std::tuple<HostRole, bool>;
+
+std::string rack_param_name(const ::testing::TestParamInfo<RackParam>& info) {
+  std::string name{core::to_string(std::get<0>(info.param))};  // "Cache-f" -> "Cachef"
+  std::erase_if(name, [](char c) { return c == '-'; });
+  return name + (std::get<1>(info.param) ? "FaultsHeavy" : "FaultsOff");
+}
+
+class EngineDifferentialRack : public ::testing::TestWithParam<RackParam> {};
+
+TEST_P(EngineDifferentialRack, BucketedEngineIsBitIdenticalToReference) {
+  const auto [role, heavy] = GetParam();
+  const Outcome reference = run_once(sim::Simulator::Engine::kReference, role, heavy);
+  const Outcome bucketed = run_once(sim::Simulator::Engine::kBucketed, role, heavy);
+
+  ASSERT_GT(reference.trace_len, 0u);
+  EXPECT_EQ(bucketed.trace_len, reference.trace_len);
+  EXPECT_EQ(bucketed.events, reference.events);
+  EXPECT_EQ(bucketed.fingerprint, reference.fingerprint);
+  EXPECT_EQ(bucketed.sim_metrics, reference.sim_metrics);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, EngineDifferentialRack,
+    ::testing::Combine(::testing::Values(HostRole::kWeb, HostRole::kCacheFollower,
+                                         HostRole::kCacheLeader, HostRole::kHadoop),
+                       ::testing::Values(false, true)),
+    rack_param_name);
+
+}  // namespace
+}  // namespace fbdcsim::workload

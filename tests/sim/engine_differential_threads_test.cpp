@@ -1,0 +1,127 @@
+// Differential engine harness, part 2: thread counts.
+//
+// One Simulator is strictly single-threaded, but the runtime layer runs
+// many captures concurrently (ParallelCaptureRunner), and DESIGN.md §7
+// promises Kind::kSim telemetry is bit-identical across thread counts.
+// This suite runs the same 4-capture batch on pools of 1, 2, and 8 workers
+// (the FBDCSIM_THREADS settings the issue names) for BOTH engines and
+// asserts every per-capture fingerprint and the merged sim-metric JSON are
+// identical across all six (engine × width) combinations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/runtime/parallel_capture.h"
+#include "fbdcsim/runtime/thread_pool.h"
+#include "fbdcsim/telemetry/export.h"
+#include "fbdcsim/telemetry/telemetry.h"
+#include "fbdcsim/topology/standard_fleet.h"
+#include "fbdcsim/workload/presets.h"
+#include "fbdcsim/workload/rack_sim.h"
+
+namespace fbdcsim::workload {
+namespace {
+
+using core::HostRole;
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t fingerprint(const RackSimResult& r) {
+  std::uint64_t h = mix64(r.events, r.trace.size());
+  for (const core::PacketHeader& p : r.trace) {
+    h = mix64(h, static_cast<std::uint64_t>(p.timestamp.count_nanos()));
+    h = mix64(h, p.tuple.src_ip.value());
+    h = mix64(h, p.tuple.dst_ip.value());
+    h = mix64(h, static_cast<std::uint64_t>(p.frame_bytes));
+  }
+  h = mix64(h, static_cast<std::uint64_t>(r.uplink.tx_bytes));
+  h = mix64(h, static_cast<std::uint64_t>(r.downlinks.tx_bytes));
+  h = mix64(h, static_cast<std::uint64_t>(r.uplink.dropped_packets));
+  h = mix64(h, static_cast<std::uint64_t>(r.capture_dropped));
+  return h;
+}
+
+std::string sim_metrics_json() {
+  const std::string json =
+      telemetry::to_json(telemetry::MetricsRegistry::global().snapshot());
+  const std::size_t sim = json.find("\"sim\":");
+  const std::size_t wall = json.find(",\"wall\":");
+  if (sim == std::string::npos || wall == std::string::npos) return json;
+  return json.substr(sim, wall - sim);
+}
+
+struct BatchOutcome {
+  std::vector<std::uint64_t> fingerprints;
+  std::string sim_metrics;
+};
+
+BatchOutcome run_batch(const topology::Fleet& fleet, sim::Simulator::Engine engine,
+                       int workers, const faults::FaultPlan* plan) {
+  const std::vector<HostRole> roles{HostRole::kWeb, HostRole::kCacheFollower,
+                                    HostRole::kCacheLeader, HostRole::kHadoop};
+  std::vector<std::function<std::uint64_t()>> tasks;
+  tasks.reserve(roles.size());
+  for (const HostRole role : roles) {
+    tasks.push_back([&fleet, engine, plan, role] {
+      RackSimConfig cfg = default_rack_config(fleet, role, core::Duration::millis(200));
+      cfg.warmup = core::Duration::millis(100);
+      cfg.engine = engine;
+      cfg.faults = plan;
+      RackSimulation rack{fleet, cfg};
+      return fingerprint(rack.run());
+    });
+  }
+
+  telemetry::MetricsRegistry::global().reset();
+  BatchOutcome out;
+  {
+    // Scope the pool so workers are joined before the snapshot: a worker
+    // bumps runtime.pool.tasks_completed after delivering its result, so
+    // snapshotting while the pool lives would race that last increment.
+    runtime::ThreadPool pool{workers};
+    runtime::ParallelCaptureRunner runner{pool};
+    out.fingerprints = runner.run(tasks);
+  }
+  out.sim_metrics = sim_metrics_json();
+  return out;
+}
+
+class EngineDifferentialThreads : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EngineDifferentialThreads, IdenticalAcrossEnginesAndPoolWidths) {
+  const bool heavy = GetParam();
+  const topology::Fleet fleet = build_rack_experiment_fleet();
+  faults::FaultPlan plan{faults::heavy_profile()};
+  const faults::FaultPlan* faults = heavy ? &plan : nullptr;
+
+  const BatchOutcome baseline =
+      run_batch(fleet, sim::Simulator::Engine::kReference, 1, faults);
+  ASSERT_EQ(baseline.fingerprints.size(), 4u);
+
+  for (const auto engine :
+       {sim::Simulator::Engine::kReference, sim::Simulator::Engine::kBucketed}) {
+    for (const int workers : {1, 2, 8}) {
+      if (engine == sim::Simulator::Engine::kReference && workers == 1) continue;
+      const BatchOutcome got = run_batch(fleet, engine, workers, faults);
+      EXPECT_EQ(got.fingerprints, baseline.fingerprints)
+          << "engine=" << static_cast<int>(engine) << " workers=" << workers;
+      EXPECT_EQ(got.sim_metrics, baseline.sim_metrics)
+          << "engine=" << static_cast<int>(engine) << " workers=" << workers;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, EngineDifferentialThreads, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return p.param ? std::string{"Heavy"} : std::string{"Off"};
+                         });
+
+}  // namespace
+}  // namespace fbdcsim::workload
