@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Merge per-bench JSON reports into one trajectory file.
+
+Every bench binary writes a ``bench_<name>.json`` report (see
+bench/common.h: seed, git revision, wall time, telemetry counters, and the
+optional bench-specific ``extra`` section). CI uploads them one artifact
+per job; this tool folds any number of them into a single
+``bench_trajectory.json`` keyed by bench name, so successive commits can
+be diffed with one file fetch instead of N.
+
+Usage:
+    aggregate_reports.py [-o OUT] REPORT.json [REPORT.json ...]
+
+The merged document carries, per bench: the source report file name, the
+report's own metadata verbatim, and a flattened ``headline`` section (the
+bench's "extra" values plus the sim-counter totals) for quick plotting.
+Reports that fail to parse are listed under ``errors`` instead of
+aborting the merge — one corrupt report must not hide the others.
+"""
+
+import argparse
+import json
+import sys
+
+
+def headline(report: dict) -> dict:
+    """The values a trajectory plot most likely wants, flattened."""
+    out = {}
+    for key, value in report.get("extra", {}).items():
+        out[f"extra.{key}"] = value
+    counters = report.get("metrics", {}).get("sim", {}).get("counters", {})
+    for key, value in counters.items():
+        out[f"sim.{key}"] = value
+    if "wall_seconds" in report:
+        out["wall_seconds"] = report["wall_seconds"]
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reports", nargs="+", help="bench_*.json report files")
+    parser.add_argument("-o", "--output", default="bench_trajectory.json",
+                        help="merged output path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    merged = {"benches": {}, "errors": {}}
+    for path in args.reports:
+        # Perfetto trace dumps sit next to the reports with a .trace.json
+        # suffix; globs like bench_*.json pick them up, so skip them here.
+        if path.endswith(".trace.json") or path == args.output:
+            continue
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            merged["errors"][path] = str(exc)
+            continue
+        name = report.get("bench") or path
+        merged["benches"][name] = {
+            "source": path,
+            "headline": headline(report),
+            "report": report,
+        }
+
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"{args.output}: {len(merged['benches'])} benches merged, "
+          f"{len(merged['errors'])} errors")
+    for path, err in merged["errors"].items():
+        print(f"  error: {path}: {err}", file=sys.stderr)
+    return 1 if merged["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,6 +15,20 @@ namespace fbdcsim::analysis {
 /// Packet-size samples (on-wire frame bytes, both directions) — Figure 12.
 [[nodiscard]] core::Cdf packet_size_cdf(std::span<const core::PacketHeader> trace);
 
+/// Figure 12's bimodality, summarized: the fraction of frames at the two
+/// TCP modes — "small" (no payload: pure ACKs, handshake and control
+/// frames, at most 1.5x the padded ACK frame) and "full" (frames carrying
+/// at least 90% of an MSS). Mid-sized frames belong to neither mode.
+/// Scripted and flow-level transports should both be strongly bimodal;
+/// the ablation bench compares their splits.
+struct PacketSizeModes {
+  double small_fraction{0.0};
+  double full_fraction{0.0};
+  std::int64_t samples{0};
+};
+[[nodiscard]] PacketSizeModes packet_size_mode_split(
+    std::span<const core::PacketHeader> trace);
+
 /// Inter-arrival times (microseconds) of outbound SYN packets (initial
 /// SYNs, not SYN-ACKs) — Figure 14.
 [[nodiscard]] core::Cdf syn_interarrival_cdf(std::span<const core::PacketHeader> trace,

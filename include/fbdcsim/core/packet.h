@@ -10,6 +10,7 @@
 #include <string>
 
 #include "fbdcsim/core/addr.h"
+#include "fbdcsim/core/ids.h"
 #include "fbdcsim/core/time.h"
 #include "fbdcsim/core/units.h"
 
@@ -82,6 +83,26 @@ struct PacketHeader {
 
   [[nodiscard]] DataSize frame_size() const { return DataSize::bytes(frame_bytes); }
   [[nodiscard]] DataSize payload_size() const { return DataSize::bytes(payload_bytes); }
+};
+
+/// A packet in flight through the simulated rack: the captured header plus
+/// the routing endpoints the switch fabric needs. This is the canonical
+/// definition — `switching::SimPacket` and `services::SimPacket` are
+/// aliases (historically each layer declared its own copy).
+///
+/// The trailing fields are flow-level transport metadata (see
+/// transport/mux.h). They are zero for scripted traffic, are not part of
+/// the captured PacketHeader, and never reach any analysis: `flow_tag`
+/// identifies the owning TcpConnection (pool index + generation, so stale
+/// in-flight packets from a recycled connection are ignored), and
+/// `seq`/`ack` carry the byte-stream positions the TCP model reacts to.
+struct SimPacket {
+  PacketHeader header;
+  HostId src;
+  HostId dst;
+  std::uint32_t flow_tag{0};
+  std::uint64_t seq{0};  // first payload byte index of this segment
+  std::uint64_t ack{0};  // cumulative ack (meaningful when header.flags.ack)
 };
 
 }  // namespace fbdcsim::core

@@ -88,6 +88,14 @@ struct FaultConfig {
   /// switch-buffer occupancy (capture competes with live traffic under
   /// load): p = capture_drop_prob * (0.1 + 0.9 * occupancy_fraction).
   double capture_drop_prob = 0.0;
+
+  // ---- (d) fabric beyond the RSW: transport-visible path loss ----
+  /// P(the network beyond the monitored RSW loses one transport
+  /// transmission) per attempt — congestion or corruption somewhere on the
+  /// CSW/FC path that the rack simulation does not model hop-by-hop. Only
+  /// the flow-level TCP model (transport/) consults this; scripted traffic
+  /// and every pre-transport decision are unaffected by the field.
+  double path_loss_prob = 0.0;
 };
 
 /// The built-in tiers. Light approximates a healthy production fleet's
@@ -155,6 +163,13 @@ class FaultPlan {
   /// The mirror drops this frame given current buffer occupancy in [0, 1].
   [[nodiscard]] bool capture_drop(std::uint64_t sample_key, double occupancy_fraction) const;
 
+  // ---- (d) transport path loss ----
+  /// The fabric beyond the RSW loses the transport transmission identified
+  /// by `transmission_key` (a per-attempt key: connection tuple hash mixed
+  /// with a per-connection attempt serial, so retransmissions of the same
+  /// bytes draw independently).
+  [[nodiscard]] bool path_loss(std::uint64_t transmission_key) const;
+
  private:
   /// Fault kinds, hashed into decisions so distinct kinds never correlate.
   enum class Decision : std::uint64_t {
@@ -167,6 +182,7 @@ class FaultPlan {
     kScribeDelayLen,
     kTagFailure,
     kCaptureDrop,
+    kPathLoss,  // appended: earlier kinds keep their hash inputs
   };
 
   /// Uniform value in [0, 1) from (seed, decision, entity, bucket).

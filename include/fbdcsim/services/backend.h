@@ -2,6 +2,8 @@
 // Service hosts. These roles complete the request pipeline of Figure 2 and
 // the cluster mix of Table 3; they are simpler than the Web/cache/Hadoop
 // models but fully functional, so any rack in the fleet can be monitored.
+// All of them emit through Wire, so they run unchanged on either transport
+// backend (scripted packets or the flow-level TCP engine, DESIGN.md §10).
 #pragma once
 
 #include <memory>

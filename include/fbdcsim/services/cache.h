@@ -14,6 +14,10 @@
 // shards, keeping per-second rates within a factor of two of the median
 // (Figure 8c). The ablation bench disables mitigation to show the
 // instability that load management removes.
+//
+// Both models are transport-agnostic (see Wire): pooled follower/leader
+// connections skip the handshake under RackSimConfig::transport = kTcp and
+// are born established, matching the paper's long-lived cache sessions.
 #pragma once
 
 #include <memory>

@@ -71,10 +71,18 @@ class ConnectionTable {
 /// connection, handling MTU segmentation, delayed ACKs, handshakes and
 /// teardown. "Outbound" means the modelled host transmits; "inbound" means
 /// packets arrive from the network for the modelled host.
+///
+/// Two backends share this interface. When the sink exposes no transport
+/// (scripted mode), Wire emits the pre-shaped packet timeline itself —
+/// byte-identical to the historical behavior. When the sink runs a
+/// transport::DemandSink (TCP mode), Wire hands the byte demands over and
+/// the packet structure (segmentation, ACK clocking, retransmits) becomes
+/// emergent; the returned TimePoints are then scripted-formula *estimates*
+/// that keep the service models' transaction pacing unchanged.
 class Wire {
  public:
   Wire(sim::Simulator& sim, TrafficSink& sink, core::HostId self)
-      : sim_{&sim}, sink_{&sink}, self_{self} {}
+      : sim_{&sim}, sink_{&sink}, mux_{sink.transport()}, self_{self} {}
 
   /// Sends `payload` bytes from self to the connection's peer, starting at
   /// `start` with `gap` between segments. Inbound delayed ACKs (one per two
@@ -114,6 +122,7 @@ class Wire {
 
   sim::Simulator* sim_;
   TrafficSink* sink_;
+  transport::DemandSink* mux_;  // null in scripted mode
   core::HostId self_;
 };
 

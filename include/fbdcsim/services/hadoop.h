@@ -8,6 +8,10 @@
 // Kandula-style pattern the paper confirms for Hadoop). Transfers ride
 // ephemeral connections, making flows short and packets bimodal (MTU data
 // plus ACKs, Figure 12); 99.8% of bytes stay within the Hadoop service.
+//
+// The model is transport-agnostic (see Wire): under RackSimConfig::
+// transport = kTcp the bulk transfers are MSS-segmented and ACK-clocked by
+// the flow-level TCP engine, so the Figure 12 bimodality is emergent.
 #pragma once
 
 #include <memory>

@@ -11,11 +11,11 @@
 
 #include "fbdcsim/core/packet.h"
 #include "fbdcsim/sim/simulator.h"
-#include "fbdcsim/switching/switch.h"
+#include "fbdcsim/transport/demand.h"
 
 namespace fbdcsim::services {
 
-using switching::SimPacket;
+using core::SimPacket;
 
 /// Where a model's packets go. Implemented by the rack simulation.
 class TrafficSink {
@@ -28,6 +28,12 @@ class TrafficSink {
   /// A packet from outside the rack arrives at the RSW destined to the
   /// model's host at the current simulated time.
   virtual void host_receive(const SimPacket& packet) = 0;
+
+  /// The flow-level transport engine, when the sink runs one (TCP mode).
+  /// Null means scripted mode: services emit pre-shaped packet timelines
+  /// directly. When non-null, services::Wire routes byte demands through
+  /// it instead and the packet structure becomes emergent.
+  virtual transport::DemandSink* transport() { return nullptr; }
 };
 
 /// A per-host traffic generator. Implementations are the per-role service

@@ -11,6 +11,10 @@
 // locality, sub-200-byte median packets (Figure 12), ~2 ms median SYN
 // interarrival (Figure 14), internally bursty long-lived flows (§5.1), and
 // 10s-to-100s of concurrent destination racks (Figure 16a).
+//
+// The model is transport-agnostic: all wire traffic goes through Wire,
+// which either scripts packets directly (default) or hands demand to the
+// flow-level TCP engine (RackSimConfig::transport = kTcp; DESIGN.md §10).
 #pragma once
 
 #include <memory>

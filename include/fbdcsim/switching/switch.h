@@ -24,12 +24,10 @@ class FaultPlan;
 
 namespace fbdcsim::switching {
 
-/// A packet in flight through the simulated rack.
-struct SimPacket {
-  core::PacketHeader header;
-  core::HostId src;
-  core::HostId dst;
-};
+/// A packet in flight through the simulated rack. The canonical definition
+/// lives in core/packet.h so services and transport can share it without
+/// depending on the switching layer.
+using SimPacket = core::SimPacket;
 
 /// Per-port cumulative counters, in the style of SNMP interface MIBs.
 struct PortCounters {
@@ -73,8 +71,15 @@ class SharedBufferSwitch {
  public:
   /// Called when a packet completes transmission on `port`.
   using DeliverFn = std::function<void(std::size_t port, const SimPacket&)>;
+  /// Called when DT admission rejects a packet at `port` (after the drop is
+  /// counted). Lets transport models react to actual shared-buffer drops.
+  using DropFn = std::function<void(std::size_t port, const SimPacket&)>;
 
   SharedBufferSwitch(sim::Simulator& sim, SwitchConfig config, DeliverFn deliver);
+
+  /// Installs (or clears) the drop-notification hook. Null by default: the
+  /// scripted path never pays for the callback.
+  void set_drop_hook(DropFn on_drop) { on_drop_ = std::move(on_drop); }
 
   /// Offers a packet to egress `port` at the current simulated time.
   /// Returns false (and counts a drop) if DT admission rejects it.
@@ -120,6 +125,7 @@ class SharedBufferSwitch {
   sim::Simulator* sim_;
   SwitchConfig config_;
   DeliverFn deliver_;
+  DropFn on_drop_;
   // Packet queue nodes come from the switch's arena and recycle through the
   // pool free list, so steady-state enqueue/dequeue never calls malloc.
   // Declared before ports_ so queues are destroyed before their pool.

@@ -1,0 +1,46 @@
+// Tuning knobs of the flow-level TCP model (transport/mux.h). Defaults
+// match a paper-era production host: Linux Reno/CUBIC-family defaults
+// (IW10, 200 ms min RTO, 3-dupack fast retransmit) on a 10-Gbps NIC.
+#pragma once
+
+#include <cstdint>
+
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/time.h"
+#include "fbdcsim/core/units.h"
+
+namespace fbdcsim::transport {
+
+struct TcpParams {
+  /// Maximum segment size; 1460 B matches the fleet's 1500-B MTU.
+  std::int64_t mss_bytes = core::wire::kMaxTcpPayloadBytes;
+  /// Initial congestion window, in segments (IW10, RFC 6928 — deployed
+  /// fleet-wide well before the paper's measurement window).
+  int initial_window_segments = 10;
+  /// Duplicate ACKs that trigger fast retransmit.
+  int dupack_threshold = 3;
+  /// Congestion-window cap (stands in for the socket send buffer).
+  core::DataSize max_cwnd = core::DataSize::kilobytes(4096);
+  /// Floor of the retransmission timer (Linux's 200 ms minimum RTO).
+  core::Duration min_rto = core::Duration::millis(200);
+  /// RTO doubling cap: backoff never exceeds min_rto << max_backoff.
+  int max_backoff = 6;
+  /// Host NIC line rate — bounds per-connection emission pacing.
+  core::DataRate nic_rate = core::DataRate::gigabits_per_sec(10);
+  /// Fixed per-endpoint stack+NIC turnaround (receive -> respond).
+  core::Duration host_delay = core::Duration::micros(5);
+
+  /// One-way propagation beyond the monitored RSW, by peer locality.
+  /// Intra-rack peers are reached through the RSW itself (zero beyond-RSW
+  /// delay); the others approximate cluster fabric, DC fabric, and the
+  /// inter-site backbone of Section 3.1.
+  core::Duration cluster_one_way = core::Duration::micros(25);
+  core::Duration datacenter_one_way = core::Duration::micros(75);
+  core::Duration interdc_one_way = core::Duration::micros(17'500);
+
+  /// Handshake/FIN retransmission attempts before the connection gives up
+  /// (SYN retries use the RTO machinery with exponential backoff).
+  int max_handshake_tries = 5;
+};
+
+}  // namespace fbdcsim::transport

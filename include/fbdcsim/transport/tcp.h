@@ -1,0 +1,120 @@
+// Per-connection state of the flow-level TCP model, plus the pure
+// congestion-control transition laws (free functions so the property suite
+// can exercise them without a simulator).
+//
+// A TcpConnection models BOTH directions of one connection as seen from
+// the monitored rack: `out` is the byte stream self -> peer (the modelled
+// host is the sender), `in` is peer -> self (the mux runs the remote
+// sender locally and its segments enter the rack through the monitored
+// host's RSW downlink — the fan-in point where shared-buffer congestion
+// actually happens). Each direction is a HalfStream: Reno/NewReno sender
+// state on one end and the cumulative-ACK receiver it talks to on the
+// other.
+#pragma once
+
+#include <cstdint>
+
+#include "fbdcsim/core/ids.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/core/time.h"
+#include "fbdcsim/transport/params.h"
+
+namespace fbdcsim::transport {
+
+enum class ConnState : std::uint8_t {
+  kClosed,       // created, handshake not begun
+  kSynSent,      // self sent SYN (outbound open)
+  kSynReceived,  // peer's SYN arrived, self sent SYN-ACK (inbound open)
+  kEstablished,
+  kFinWait,      // FIN sent, waiting for peer's FIN-ACK
+  kDone,         // teardown complete; slot ready for recycling
+};
+
+/// One direction's sender + receiver state. Byte indices are absolute
+/// stream offsets (no ISN arithmetic; handshake packets carry no payload).
+struct HalfStream {
+  // -- sender --
+  std::int64_t demand{0};         // total bytes the application has queued
+  std::int64_t snd_una{0};        // lowest unacknowledged byte
+  std::int64_t snd_nxt{0};        // next byte to transmit
+  std::int64_t max_sent{0};       // high-water mark (emissions below it are
+                                  // retransmissions)
+  std::int64_t cwnd{0};
+  std::int64_t ssthresh{0};
+  std::int64_t recover{0};        // NewReno recovery point
+  std::int64_t rtx_next{-1};      // next hole to retransmit, -1 if none
+  int dupacks{0};
+  bool in_recovery{false};
+  int backoff{0};                 // RTO exponential-backoff exponent
+  bool rto_scheduled{false};      // one timer event outstanding at most
+  core::TimePoint rto_deadline;
+  core::TimePoint tx_clock;       // NIC/app-pacing serialization clock
+  core::Duration pace_gap;        // application write pacing (0 = NIC rate)
+
+  // -- receiver (the opposite endpoint of this direction) --
+  std::int64_t rcv_nxt{0};
+  static constexpr int kMaxOooRanges = 8;
+  std::int64_t ooo_lo[kMaxOooRanges] = {};
+  std::int64_t ooo_hi[kMaxOooRanges] = {};
+  int ooo_count{0};
+  int segs_since_ack{0};
+
+  // -- accounting (bytes-conservation property tests) --
+  std::int64_t retransmitted_bytes{0};
+  std::int64_t switch_dropped_segments{0};
+
+  [[nodiscard]] std::int64_t inflight() const { return snd_nxt - snd_una; }
+};
+
+struct TcpConnection {
+  core::FiveTuple tuple;  // self -> peer orientation
+  core::HostId self;
+  core::HostId peer;
+  std::uint32_t tag{0};   // (pool slot << 8) | generation
+  std::uint64_t tuple_hash{0};
+  ConnState state{ConnState::kClosed};
+  bool close_pending{false};
+  int hs_tries{0};
+  bool hs_timer_scheduled{false};
+  core::TimePoint hs_deadline;
+  /// One-way delay beyond the RSW to the peer (zero for rack-local peers).
+  core::Duration beyond;
+  /// RSW egress -> peer -> response back at RSW ingress.
+  core::Duration reply_delay;
+  /// Per-transmission-attempt salt for the fault plan's path-loss draws.
+  std::uint64_t loss_serial{0};
+  HalfStream out;  // self -> peer bytes
+  HalfStream in;   // peer -> self bytes
+};
+
+// ---- pure congestion-control laws (Reno/NewReno) ----
+
+/// cwnd after a full ACK of `acked_bytes` new bytes outside recovery:
+/// slow start below ssthresh (+acked per ACK), additive increase above
+/// (+mss*mss/cwnd per ACK), capped at max_cwnd. Monotone non-decreasing.
+[[nodiscard]] std::int64_t cwnd_after_ack(std::int64_t cwnd, std::int64_t ssthresh,
+                                          std::int64_t acked_bytes, std::int64_t mss,
+                                          std::int64_t max_cwnd);
+
+/// Multiplicative decrease on entering fast recovery: returns the new
+/// ssthresh = max(inflight/2, 2*mss).
+[[nodiscard]] std::int64_t ssthresh_on_loss(std::int64_t inflight, std::int64_t mss);
+
+/// Applies a 3-dupack fast retransmit: sets ssthresh, inflates cwnd by
+/// dupack_threshold segments, records the recovery point, and marks the
+/// first hole for retransmission.
+void enter_fast_recovery(HalfStream& h, const TcpParams& p);
+
+/// Applies a retransmission timeout: cwnd collapses to one segment,
+/// ssthresh halves, transmission restarts from snd_una (go-back-N), and
+/// the backoff exponent grows (capped).
+void apply_rto(HalfStream& h, const TcpParams& p);
+
+/// Receiver-side delivery of [seq, seq+len). Advances rcv_nxt, merging any
+/// out-of-order ranges it bridges; out-of-window data is remembered in the
+/// bounded range set (overflow is dropped — the sender simply retransmits
+/// more). Returns true when the receiver must ACK immediately (gap, dup,
+/// merge, or PSH) as opposed to the every-2nd-segment delayed-ACK policy.
+bool receiver_deliver(HalfStream& h, std::int64_t seq, std::int64_t len, bool psh);
+
+}  // namespace fbdcsim::transport

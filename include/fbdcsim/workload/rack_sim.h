@@ -21,12 +21,29 @@
 #include "fbdcsim/sim/simulator.h"
 #include "fbdcsim/switching/switch.h"
 #include "fbdcsim/topology/entities.h"
+#include "fbdcsim/transport/params.h"
 
 namespace fbdcsim::faults {
 class FaultPlan;
 }  // namespace fbdcsim::faults
 
+namespace fbdcsim::transport {
+class TransportMux;
+}  // namespace fbdcsim::transport
+
 namespace fbdcsim::workload {
+
+/// Transport backend selection for the service models' traffic.
+enum class Transport : std::uint8_t {
+  /// Services emit pre-shaped packet timelines directly (the historical
+  /// behavior; byte-identical traces to every pre-transport release).
+  kScripted,
+  /// Services queue byte demands into a flow-level TCP engine
+  /// (transport::TransportMux): handshakes, MSS segmentation, ACK
+  /// clocking, fast retransmit and RTO recovery all emerge from real
+  /// switch deliveries/drops and the fault plan's path-loss decisions.
+  kTcp,
+};
 
 struct RackSimConfig {
   /// The host whose traffic is captured. Required.
@@ -53,6 +70,12 @@ struct RackSimConfig {
   /// the mirrored host's trace are unaffected; keep at 1.0 for the buffer
   /// experiments (Figure 15), lower it to speed up trace-only experiments.
   double background_rate_scale = 1.0;
+  /// Transport backend. kScripted preserves byte-identical traces with
+  /// every pre-transport release; kTcp makes packet-scale structure
+  /// emergent (SYN interarrivals, ACK/MSS size bimodality, retransmits).
+  Transport transport = Transport::kScripted;
+  /// Flow-level TCP tuning, used only when `transport == kTcp`.
+  transport::TcpParams tcp;
   /// Event-engine selection. kBucketed is the production engine;
   /// kReference exists for the differential bit-identity harness
   /// (tests/sim/engine_differential_*) and engine benchmarks.
@@ -101,6 +124,13 @@ class RackSimulation : public services::TrafficSink {
   // TrafficSink interface (used by the service models).
   void host_send(const services::SimPacket& packet) override;
   void host_receive(const services::SimPacket& packet) override;
+  transport::DemandSink* transport() override;
+
+  /// The flow-level TCP engine (null in scripted mode). Exposed so tests
+  /// and benches can read transport stats after a run.
+  [[nodiscard]] const transport::TransportMux* transport_mux() const {
+    return transport_.get();
+  }
 
  private:
   [[nodiscard]] std::size_t egress_port_for(const services::SimPacket& packet) const;
@@ -113,6 +143,9 @@ class RackSimulation : public services::TrafficSink {
 
   sim::Simulator sim_{config_.engine};
   std::unique_ptr<switching::SharedBufferSwitch> rsw_;
+  /// Flow-level TCP engine; null in scripted mode. Constructed before the
+  /// models so Wire can pick it up via TrafficSink::transport().
+  std::unique_ptr<transport::TransportMux> transport_;
   std::unique_ptr<switching::BufferOccupancySampler> sampler_;
   monitoring::CaptureBuffer capture_buffer_;
   std::unique_ptr<monitoring::PortMirror> mirror_;

@@ -14,6 +14,26 @@ core::Cdf packet_size_cdf(std::span<const core::PacketHeader> trace) {
   return cdf;
 }
 
+PacketSizeModes packet_size_mode_split(std::span<const core::PacketHeader> trace) {
+  PacketSizeModes modes;
+  const std::int64_t small_cutoff = core::wire::tcp_frame_bytes(0) * 3 / 2;
+  const std::int64_t full_cutoff =
+      core::wire::tcp_frame_bytes(core::wire::kMaxTcpPayloadBytes * 9 / 10);
+  for (const core::PacketHeader& pkt : trace) {
+    ++modes.samples;
+    if (pkt.frame_bytes <= small_cutoff) {
+      modes.small_fraction += 1.0;
+    } else if (pkt.frame_bytes >= full_cutoff) {
+      modes.full_fraction += 1.0;
+    }
+  }
+  if (modes.samples > 0) {
+    modes.small_fraction /= static_cast<double>(modes.samples);
+    modes.full_fraction /= static_cast<double>(modes.samples);
+  }
+  return modes;
+}
+
 core::Cdf syn_interarrival_cdf(std::span<const core::PacketHeader> trace,
                                core::Ipv4Addr outbound_from) {
   // Trace is time-ordered (the capture path sorts it); collect initial

@@ -39,6 +39,7 @@ FaultConfig light_profile() {
   c.scribe_delay_prob = 0.05;
   c.tag_failure_prob = 0.005;
   c.capture_drop_prob = 0.01;
+  c.path_loss_prob = 0.0005;
   return c;
 }
 
@@ -57,6 +58,7 @@ FaultConfig heavy_profile() {
   c.scribe_max_delay = core::Duration::seconds(120);
   c.tag_failure_prob = 0.05;
   c.capture_drop_prob = 0.05;
+  c.path_loss_prob = 0.005;
   return c;
 }
 
@@ -153,6 +155,7 @@ bool apply_key(FaultConfig& c, const std::string& key, const std::string& value,
   if (key == "scribe_max_delay_ms") return duration_ms(&c.scribe_max_delay);
   if (key == "tag_failure_prob") return prob(&c.tag_failure_prob);
   if (key == "capture_drop_prob") return prob(&c.capture_drop_prob);
+  if (key == "path_loss_prob") return prob(&c.path_loss_prob);
   *error = "unknown key '" + key + "'";
   return false;
 }
@@ -298,6 +301,11 @@ bool FaultPlan::capture_drop(std::uint64_t sample_key, double occupancy_fraction
                                                 : occupancy_fraction;
   const double p = config_.capture_drop_prob * (0.1 + 0.9 * occ);
   return unit(Decision::kCaptureDrop, sample_key, 0) < p;
+}
+
+bool FaultPlan::path_loss(std::uint64_t transmission_key) const {
+  if (config_.path_loss_prob <= 0.0) return false;
+  return unit(Decision::kPathLoss, transmission_key, 0) < config_.path_loss_prob;
 }
 
 }  // namespace fbdcsim::faults

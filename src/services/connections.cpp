@@ -85,8 +85,23 @@ void Wire::emit_in(const core::FiveTuple& tuple_from_peer, core::HostId peer, Ti
   });
 }
 
+namespace {
+/// Scripted-formula completion estimate: segments at `gap` spacing. Used as
+/// the return value in TCP mode so transaction pacing in the service models
+/// is independent of the transport backend.
+TimePoint scripted_last_segment(TimePoint start, std::int64_t bytes, Duration gap) {
+  const std::int64_t nseg =
+      std::max<std::int64_t>(1, (bytes + kMaxTcpPayloadBytes - 1) / kMaxTcpPayloadBytes);
+  return start + gap * (nseg - 1);
+}
+}  // namespace
+
 TimePoint Wire::send(const Connection& conn, core::DataSize payload, TimePoint start,
                      Duration gap, bool ack_inbound) {
+  if (mux_ != nullptr) {
+    mux_->app_send(conn.tuple, self_, conn.peer, payload.count_bytes(), start, gap);
+    return scripted_last_segment(start, payload.count_bytes(), gap);
+  }
   std::int64_t remaining = payload.count_bytes();
   TimePoint at = start;
   int segments = 0;
@@ -108,6 +123,10 @@ TimePoint Wire::send(const Connection& conn, core::DataSize payload, TimePoint s
 
 TimePoint Wire::receive(const Connection& conn, core::DataSize payload, TimePoint start,
                         Duration gap, bool ack_outbound) {
+  if (mux_ != nullptr) {
+    mux_->app_receive(conn.tuple, self_, conn.peer, payload.count_bytes(), start, gap);
+    return scripted_last_segment(start, payload.count_bytes(), gap);
+  }
   std::int64_t remaining = payload.count_bytes();
   TimePoint at = start;
   int segments = 0;
@@ -128,6 +147,10 @@ TimePoint Wire::receive(const Connection& conn, core::DataSize payload, TimePoin
 }
 
 TimePoint Wire::open(const Connection& conn, TimePoint start, Duration rtt) {
+  if (mux_ != nullptr) {
+    mux_->open(conn.tuple, self_, conn.peer, start);
+    return start + rtt;
+  }
   emit_out(conn.tuple, conn.peer, start, 0, core::TcpFlags{.syn = true});
   emit_in(conn.tuple.reversed(), conn.peer, start + rtt / 2, 0,
           core::TcpFlags{.syn = true, .ack = true});
@@ -136,6 +159,10 @@ TimePoint Wire::open(const Connection& conn, TimePoint start, Duration rtt) {
 }
 
 TimePoint Wire::open_inbound(const Connection& conn, TimePoint start, Duration rtt) {
+  if (mux_ != nullptr) {
+    mux_->open_inbound(conn.tuple, self_, conn.peer, start);
+    return start + rtt;
+  }
   // The peer initiates: its SYN travels on the reverse (peer -> self) path.
   emit_in(conn.tuple.reversed(), conn.peer, start, 0, core::TcpFlags{.syn = true});
   emit_out(conn.tuple, conn.peer, start + rtt / 2, 0, core::TcpFlags{.syn = true, .ack = true});
@@ -144,6 +171,10 @@ TimePoint Wire::open_inbound(const Connection& conn, TimePoint start, Duration r
 }
 
 void Wire::close(const Connection& conn, TimePoint start, Duration rtt) {
+  if (mux_ != nullptr) {
+    mux_->app_close(conn.tuple, self_, conn.peer, start);
+    return;
+  }
   emit_out(conn.tuple, conn.peer, start, 0, core::TcpFlags{.ack = true, .fin = true});
   emit_in(conn.tuple.reversed(), conn.peer, start + rtt / 2, 0,
           core::TcpFlags{.ack = true, .fin = true});

@@ -53,6 +53,7 @@ bool SharedBufferSwitch::enqueue(std::size_t port_index, const SimPacket& packet
     ++port.counters.dropped_packets;
     port.counters.dropped_bytes += bytes;
     FBDCSIM_T_ADD(dropped, 1);
+    if (on_drop_) on_drop_(port_index, packet);
     return false;
   }
 

@@ -1,0 +1,592 @@
+#include "fbdcsim/transport/mux.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/telemetry/telemetry.h"
+
+namespace fbdcsim::transport {
+
+namespace {
+using core::DataSize;
+using core::Duration;
+using core::TimePoint;
+}  // namespace
+
+TransportMux::TransportMux(sim::Simulator& sim, const topology::Fleet& fleet,
+                           services::TrafficSink& sink, TcpParams params,
+                           const faults::FaultPlan* faults, std::uint64_t /*seed*/)
+    : sim_{&sim}, fleet_{&fleet}, sink_{&sink}, params_{params}, faults_{faults} {
+  faults_enabled_ = faults_ != nullptr && faults_->enabled();
+}
+
+TransportMux::~TransportMux() = default;
+
+std::int64_t TransportMux::live_connections() const { return pool_.live(); }
+
+const TcpConnection* TransportMux::find_connection(const core::FiveTuple& tuple) const {
+  const auto it = by_tuple_.find(tuple);
+  if (it == by_tuple_.end()) return nullptr;
+  const std::uint32_t idx = (it->second >> 8) - 1;
+  if (idx >= slots_.size() || !slots_[idx].live) return nullptr;
+  return slots_[idx].conn;
+}
+
+TcpConnection* TransportMux::resolve(std::uint32_t tag) {
+  // Tags encode (slot + 1) so no live connection's tag is 0 — tag 0 marks
+  // scripted packets, which the mux must ignore.
+  if (tag < (1u << 8)) return nullptr;
+  const std::uint32_t idx = (tag >> 8) - 1;
+  if (idx >= slots_.size()) return nullptr;
+  Slot& s = slots_[idx];
+  if (!s.live || s.gen != static_cast<std::uint8_t>(tag & 0xFFu)) return nullptr;
+  return s.conn;
+}
+
+TcpConnection& TransportMux::ensure(const core::FiveTuple& tuple, core::HostId self,
+                                    core::HostId peer, ConnState initial) {
+  if (const auto it = by_tuple_.find(tuple); it != by_tuple_.end()) {
+    if (TcpConnection* c = resolve(it->second)) return *c;
+    by_tuple_.erase(it);  // stale mapping from a recycled connection
+  }
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  Slot& s = slots_[idx];
+  s.conn = pool_.create();
+  s.live = true;
+  TcpConnection& c = *s.conn;
+  c.tuple = tuple;
+  c.self = self;
+  c.peer = peer;
+  c.tag = ((idx + 1) << 8) | s.gen;
+  c.tuple_hash = std::hash<core::FiveTuple>{}(tuple);
+  c.state = initial;
+
+  switch (fleet_->locality(self, peer)) {
+    case core::Locality::kIntraRack:
+      c.beyond = Duration::nanos(0);
+      break;
+    case core::Locality::kIntraCluster:
+      c.beyond = params_.cluster_one_way;
+      break;
+    case core::Locality::kIntraDatacenter:
+      c.beyond = params_.datacenter_one_way;
+      break;
+    case core::Locality::kInterDatacenter:
+      c.beyond = params_.interdc_one_way;
+      break;
+  }
+  c.reply_delay = 2 * c.beyond + params_.host_delay;
+
+  const std::int64_t iw =
+      static_cast<std::int64_t>(params_.initial_window_segments) * params_.mss_bytes;
+  for (HalfStream* h : {&c.out, &c.in}) {
+    h->cwnd = iw;
+    h->ssthresh = params_.max_cwnd.count_bytes();
+  }
+
+  by_tuple_.emplace(tuple, c.tag);
+  ++stats_.connections_created;
+  FBDCSIM_T_COUNTER(conns, "transport.connections", Sim);
+  FBDCSIM_T_ADD(conns, 1);
+  return c;
+}
+
+void TransportMux::release(TcpConnection& c) {
+  const std::uint32_t idx = (c.tag >> 8) - 1;
+  by_tuple_.erase(c.tuple);
+  Slot& s = slots_[idx];
+  pool_.destroy(s.conn);
+  s.conn = nullptr;
+  s.live = false;
+  s.gen = static_cast<std::uint8_t>(s.gen + 1);
+  free_slots_.push_back(idx);
+  ++stats_.connections_destroyed;
+}
+
+Duration TransportMux::rto_for(const TcpConnection& c, const HalfStream& h) const {
+  // Static RTO estimate: 4x the fixed path RTT (propagation + endpoint
+  // turnaround + serialization slop), floored at min_rto, doubled per
+  // backoff step. No SRTT tracking — queueing in this fabric is bounded
+  // well below min_rto, so the floor dominates except inter-DC.
+  const Duration path_rtt = 2 * (c.beyond + params_.host_delay) + Duration::micros(100);
+  const std::int64_t base =
+      std::max(params_.min_rto.count_nanos(), 4 * path_rtt.count_nanos());
+  return Duration::nanos(base << std::min(h.backoff, params_.max_backoff));
+}
+
+bool TransportMux::path_lost(TcpConnection& c) {
+  if (!faults_enabled_) return false;
+  const std::uint64_t key =
+      core::splitmix64(c.tuple_hash ^ core::splitmix64(++c.loss_serial));
+  if (!faults_->path_loss(key)) return false;
+  ++stats_.path_loss_drops;
+  FBDCSIM_T_COUNTER(lost, "transport.path_loss_drops", Sim);
+  FBDCSIM_T_ADD(lost, 1);
+  return true;
+}
+
+void TransportMux::emit_now(TcpConnection& c, Dir dir, std::int64_t payload,
+                            core::TcpFlags flags, std::int64_t seq, std::int64_t ackno) {
+  core::SimPacket pkt;
+  pkt.header.timestamp = sim_->now();
+  pkt.header.tuple = dir == Dir::kOut ? c.tuple : c.tuple.reversed();
+  pkt.header.payload_bytes = payload;
+  pkt.header.frame_bytes = core::wire::tcp_frame_bytes(payload);
+  pkt.header.flags = flags;
+  pkt.src = dir == Dir::kOut ? c.self : c.peer;
+  pkt.dst = dir == Dir::kOut ? c.peer : c.self;
+  pkt.flow_tag = c.tag;
+  pkt.seq = static_cast<std::uint64_t>(seq);
+  pkt.ack = static_cast<std::uint64_t>(ackno);
+  if (dir == Dir::kOut) {
+    sink_->host_send(pkt);
+  } else {
+    sink_->host_receive(pkt);
+  }
+}
+
+// ---- DemandSink ----
+
+void TransportMux::open(const core::FiveTuple& tuple, core::HostId self, core::HostId peer,
+                        TimePoint start) {
+  TcpConnection& c = ensure(tuple, self, peer, ConnState::kClosed);
+  const std::uint32_t tag = c.tag;
+  sim_->schedule_at(start, [this, tag] { on_ctrl(tag, Ctrl::kBeginOpen); });
+}
+
+void TransportMux::open_inbound(const core::FiveTuple& tuple, core::HostId self,
+                                core::HostId peer, TimePoint start) {
+  TcpConnection& c = ensure(tuple, self, peer, ConnState::kClosed);
+  const std::uint32_t tag = c.tag;
+  sim_->schedule_at(start, [this, tag] { on_ctrl(tag, Ctrl::kBeginInbound); });
+}
+
+void TransportMux::app_send(const core::FiveTuple& tuple, core::HostId self,
+                            core::HostId peer, std::int64_t bytes, TimePoint start,
+                            Duration pace_gap) {
+  if (bytes <= 0) return;
+  // Connections first seen carrying data are pooled: their handshake
+  // predates the run, so they start established (no SYN on the wire).
+  TcpConnection& c = ensure(tuple, self, peer, ConnState::kEstablished);
+  const std::uint32_t tag = c.tag;
+  const std::int64_t gap_ns = pace_gap.count_nanos();
+  sim_->schedule_at(start, [this, tag, bytes, gap_ns] {
+    on_demand(tag, Dir::kOut, bytes, Duration::nanos(gap_ns));
+  });
+}
+
+void TransportMux::app_receive(const core::FiveTuple& tuple, core::HostId self,
+                               core::HostId peer, std::int64_t bytes, TimePoint start,
+                               Duration pace_gap) {
+  if (bytes <= 0) return;
+  TcpConnection& c = ensure(tuple, self, peer, ConnState::kEstablished);
+  const std::uint32_t tag = c.tag;
+  const std::int64_t gap_ns = pace_gap.count_nanos();
+  sim_->schedule_at(start, [this, tag, bytes, gap_ns] {
+    on_demand(tag, Dir::kIn, bytes, Duration::nanos(gap_ns));
+  });
+}
+
+void TransportMux::app_close(const core::FiveTuple& tuple, core::HostId self,
+                             core::HostId peer, TimePoint start) {
+  TcpConnection& c = ensure(tuple, self, peer, ConnState::kEstablished);
+  const std::uint32_t tag = c.tag;
+  sim_->schedule_at(start, [this, tag] { on_ctrl(tag, Ctrl::kClose); });
+}
+
+// ---- connection machinery ----
+
+void TransportMux::establish(TcpConnection& c) {
+  c.state = ConnState::kEstablished;
+  c.hs_tries = 0;
+  ++stats_.handshakes_completed;
+  FBDCSIM_T_COUNTER(hs, "transport.handshakes", Sim);
+  FBDCSIM_T_ADD(hs, 1);
+  pump(c, Dir::kOut);
+  pump(c, Dir::kIn);
+  if (c.close_pending) try_close(c);
+}
+
+void TransportMux::on_ctrl(std::uint32_t tag, Ctrl ctrl) {
+  TcpConnection* cp = resolve(tag);
+  if (cp == nullptr) return;
+  TcpConnection& c = *cp;
+  switch (ctrl) {
+    case Ctrl::kBeginOpen:
+      if (c.state == ConnState::kClosed) {
+        c.state = ConnState::kSynSent;
+        emit_now(c, Dir::kOut, 0, core::TcpFlags{.syn = true}, 0, 0);
+        arm_hs(c);
+      }
+      break;
+    case Ctrl::kBeginInbound:
+      if (c.state == ConnState::kClosed) {
+        c.state = ConnState::kSynReceived;
+        emit_now(c, Dir::kIn, 0, core::TcpFlags{.syn = true}, 0, 0);
+        arm_hs(c);
+      }
+      break;
+    case Ctrl::kSynAckIn:
+      emit_now(c, Dir::kIn, 0, core::TcpFlags{.syn = true, .ack = true}, 0, 0);
+      break;
+    case Ctrl::kHsAckIn:
+      emit_now(c, Dir::kIn, 0, core::TcpFlags{.ack = true}, 0, 0);
+      break;
+    case Ctrl::kFinAckIn:
+      emit_now(c, Dir::kIn, 0, core::TcpFlags{.ack = true, .fin = true}, 0,
+               c.out.rcv_nxt);
+      break;
+    case Ctrl::kClose:
+      c.close_pending = true;
+      try_close(c);
+      break;
+  }
+}
+
+void TransportMux::on_demand(std::uint32_t tag, Dir dir, std::int64_t bytes,
+                             Duration pace_gap) {
+  TcpConnection* cp = resolve(tag);
+  if (cp == nullptr) return;
+  HalfStream& h = half(*cp, dir);
+  h.demand += bytes;
+  h.pace_gap = std::max(pace_gap, Duration::nanos(0));
+  stats_.bytes_demanded += bytes;
+  pump(*cp, dir);
+}
+
+void TransportMux::pump(TcpConnection& c, Dir dir) {
+  if (c.state != ConnState::kEstablished && c.state != ConnState::kFinWait) return;
+  HalfStream& h = half(c, dir);
+  const std::int64_t mss = params_.mss_bytes;
+  while (true) {
+    if (h.rtx_next >= 0) {
+      const std::int64_t seq = h.rtx_next;
+      const std::int64_t len = std::min(mss, h.demand - seq);
+      h.rtx_next = -1;
+      if (len > 0) {
+        send_segment(c, dir, seq, len);
+        arm_rto(c, dir);
+        continue;
+      }
+    }
+    if (h.inflight() >= h.cwnd) break;
+    const std::int64_t avail = h.demand - h.snd_nxt;
+    if (avail <= 0) break;
+    const std::int64_t len = std::min(avail, mss);
+    send_segment(c, dir, h.snd_nxt, len);
+    h.snd_nxt += len;
+    if (h.snd_nxt > h.max_sent) h.max_sent = h.snd_nxt;
+    arm_rto(c, dir);
+  }
+}
+
+void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
+                                std::int64_t len) {
+  HalfStream& h = half(c, dir);
+  const TimePoint now = sim_->now();
+  if (h.tx_clock < now) h.tx_clock = now;
+  const TimePoint at = h.tx_clock;
+  const Duration serialization = params_.nic_rate.transmission_time(
+      DataSize::bytes(core::wire::tcp_frame_bytes(len)));
+  h.tx_clock += std::max(serialization, h.pace_gap);
+
+  ++stats_.segments_sent;
+  FBDCSIM_T_COUNTER(segs, "transport.segments", Sim);
+  FBDCSIM_T_ADD(segs, 1);
+  if (seq < h.max_sent) {
+    h.retransmitted_bytes += len;
+    stats_.bytes_retransmitted += len;
+    ++stats_.retransmit_segments;
+    FBDCSIM_T_COUNTER(rtx, "transport.retransmits", Sim);
+    FBDCSIM_T_ADD(rtx, 1);
+  }
+
+  const std::uint32_t tag = c.tag;
+  const auto dir8 = static_cast<std::uint8_t>(dir);
+  sim_->schedule_at(at, [this, tag, dir8, seq, len] {
+    TcpConnection* cp = resolve(tag);
+    if (cp == nullptr) return;
+    const Dir d = static_cast<Dir>(dir8);
+    // Remote (in-half) senders sit beyond the RSW: forward-path loss means
+    // the segment never reaches the rack at all.
+    if (d == Dir::kIn && path_lost(*cp)) return;
+    const bool psh = seq + len >= half(*cp, d).demand;
+    emit_now(*cp, d, len, core::TcpFlags{.ack = true, .psh = psh}, seq, 0);
+  });
+}
+
+void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno) {
+  HalfStream& h = half(c, dir);
+  const std::int64_t mss = params_.mss_bytes;
+  if (ackno > h.snd_una) {
+    const std::int64_t acked = ackno - h.snd_una;
+    h.snd_una = ackno;
+    if (h.snd_nxt < h.snd_una) h.snd_nxt = h.snd_una;  // go-back-N rewind passed by ack
+    h.backoff = 0;
+    h.rto_deadline = sim_->now() + rto_for(c, h);
+    if (h.in_recovery) {
+      if (ackno >= h.recover) {
+        // Recovery complete: deflate to ssthresh.
+        h.in_recovery = false;
+        h.dupacks = 0;
+        h.cwnd = std::max(mss, std::min(h.ssthresh, params_.max_cwnd.count_bytes()));
+      } else {
+        // NewReno partial ACK: retransmit the next hole, stay in recovery.
+        h.rtx_next = ackno;
+      }
+    } else {
+      h.dupacks = 0;
+      h.cwnd = cwnd_after_ack(h.cwnd, h.ssthresh, acked, mss, params_.max_cwnd.count_bytes());
+    }
+    FBDCSIM_T_HISTOGRAM(cwnd_hist, "transport.cwnd", Sim);
+    FBDCSIM_T_OBSERVE(cwnd_hist, h.cwnd / mss);
+  } else if (ackno == h.snd_una && h.inflight() > 0) {
+    ++h.dupacks;
+    if (h.in_recovery) {
+      h.cwnd += mss;  // window inflation per additional dupack
+    } else if (h.dupacks >= params_.dupack_threshold) {
+      enter_fast_recovery(h, params_);
+      ++stats_.fast_retransmits;
+      FBDCSIM_T_COUNTER(fast, "transport.fast_retransmits", Sim);
+      FBDCSIM_T_ADD(fast, 1);
+    }
+  }
+  pump(c, dir);
+  if (c.close_pending) try_close(c);
+}
+
+void TransportMux::on_data_at_receiver(TcpConnection& c, Dir dir, std::int64_t seq,
+                                       std::int64_t len, bool psh) {
+  HalfStream& h = half(c, dir);
+  const std::int64_t before = h.rcv_nxt;
+  const bool ack_now = receiver_deliver(h, seq, len, psh);
+  stats_.bytes_delivered += h.rcv_nxt - before;
+  if (dir == Dir::kOut) {
+    // The far receiver acknowledges out-half data; its ACK re-enters the
+    // rack after the connection's beyond-RSW round trip.
+    if (ack_now) {
+      const std::uint32_t tag = c.tag;
+      const std::int64_t ackno = h.rcv_nxt;
+      sim_->schedule_after(c.reply_delay, [this, tag, ackno] {
+        TcpConnection* cp = resolve(tag);
+        if (cp == nullptr) return;
+        emit_now(*cp, Dir::kIn, 0, core::TcpFlags{.ack = true}, 0, ackno);
+      });
+    }
+  } else {
+    // The modelled host acknowledges in-half data with a real packet.
+    if (ack_now) emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true}, 0, h.rcv_nxt);
+    if (c.close_pending) try_close(c);
+  }
+}
+
+void TransportMux::arm_rto(TcpConnection& c, Dir dir) {
+  HalfStream& h = half(c, dir);
+  h.rto_deadline = sim_->now() + rto_for(c, h);
+  if (h.rto_scheduled) return;
+  h.rto_scheduled = true;
+  const std::uint32_t tag = c.tag;
+  const auto dir8 = static_cast<std::uint8_t>(dir);
+  sim_->schedule_at(h.rto_deadline,
+                    [this, tag, dir8] { on_rto_event(tag, static_cast<Dir>(dir8)); });
+}
+
+void TransportMux::on_rto_event(std::uint32_t tag, Dir dir) {
+  TcpConnection* cp = resolve(tag);
+  if (cp == nullptr) return;
+  TcpConnection& c = *cp;
+  HalfStream& h = half(c, dir);
+  h.rto_scheduled = false;
+  if (c.state != ConnState::kEstablished && c.state != ConnState::kFinWait) return;
+  if (h.snd_una >= h.snd_nxt && h.rtx_next < 0) return;  // everything acked
+  if (sim_->now() < h.rto_deadline) {
+    // ACKs pushed the deadline forward since this event was scheduled.
+    h.rto_scheduled = true;
+    const auto dir8 = static_cast<std::uint8_t>(dir);
+    sim_->schedule_at(h.rto_deadline,
+                      [this, tag, dir8] { on_rto_event(tag, static_cast<Dir>(dir8)); });
+    return;
+  }
+  apply_rto(h, params_);
+  ++stats_.rto_fired;
+  FBDCSIM_T_COUNTER(rto, "transport.rto_fired", Sim);
+  FBDCSIM_T_ADD(rto, 1);
+  arm_rto(c, dir);
+  pump(c, dir);
+}
+
+void TransportMux::try_close(TcpConnection& c) {
+  if (!c.close_pending || c.state != ConnState::kEstablished) return;
+  if (c.out.snd_nxt < c.out.demand || c.out.snd_una < c.out.snd_nxt) return;
+  if (c.in.rcv_nxt < c.in.demand) return;
+  c.state = ConnState::kFinWait;
+  c.hs_tries = 0;
+  emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true, .fin = true}, 0, c.in.rcv_nxt);
+  arm_hs(c);
+}
+
+void TransportMux::arm_hs(TcpConnection& c) {
+  const Duration base = rto_for(c, c.out);
+  c.hs_deadline =
+      sim_->now() + Duration::nanos(base.count_nanos()
+                                    << std::min(c.hs_tries, params_.max_backoff));
+  if (c.hs_timer_scheduled) return;
+  c.hs_timer_scheduled = true;
+  const std::uint32_t tag = c.tag;
+  sim_->schedule_at(c.hs_deadline, [this, tag] { on_hs_event(tag); });
+}
+
+void TransportMux::on_hs_event(std::uint32_t tag) {
+  TcpConnection* cp = resolve(tag);
+  if (cp == nullptr) return;
+  TcpConnection& c = *cp;
+  c.hs_timer_scheduled = false;
+  if (c.state != ConnState::kSynSent && c.state != ConnState::kSynReceived &&
+      c.state != ConnState::kFinWait) {
+    return;
+  }
+  if (sim_->now() < c.hs_deadline) {
+    c.hs_timer_scheduled = true;
+    sim_->schedule_at(c.hs_deadline, [this, tag] { on_hs_event(tag); });
+    return;
+  }
+  if (++c.hs_tries >= params_.max_handshake_tries) {
+    ++stats_.handshake_failures;
+    FBDCSIM_T_COUNTER(failed, "transport.handshake_failures", Sim);
+    FBDCSIM_T_ADD(failed, 1);
+    release(c);
+    return;
+  }
+  switch (c.state) {
+    case ConnState::kSynSent:
+      emit_now(c, Dir::kOut, 0, core::TcpFlags{.syn = true}, 0, 0);
+      break;
+    case ConnState::kSynReceived:
+      // Covers both a lost peer SYN and a lost SYN-ACK: replaying the SYN
+      // re-triggers our SYN-ACK on delivery.
+      emit_now(c, Dir::kIn, 0, core::TcpFlags{.syn = true}, 0, 0);
+      break;
+    case ConnState::kFinWait:
+      emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true, .fin = true}, 0,
+               c.in.rcv_nxt);
+      break;
+    default:
+      return;
+  }
+  arm_hs(c);
+}
+
+// ---- switch callbacks ----
+
+void TransportMux::on_delivered(const core::SimPacket& pkt) {
+  if (pkt.flow_tag == 0) return;
+  TcpConnection* cp = resolve(pkt.flow_tag);
+  if (cp == nullptr) return;
+  TcpConnection& c = *cp;
+  const Dir wire = pkt.src == c.self ? Dir::kOut : Dir::kIn;
+  const core::TcpFlags f = pkt.header.flags;
+  const std::int64_t payload = pkt.header.payload_bytes;
+
+  if (f.syn && !f.ack) {
+    if (wire == Dir::kOut) {
+      // Self's SYN cleared the RSW; the peer answers after the path RTT.
+      if (c.state == ConnState::kSynSent && !path_lost(c)) {
+        const std::uint32_t tag = c.tag;
+        sim_->schedule_after(c.reply_delay,
+                             [this, tag] { on_ctrl(tag, Ctrl::kSynAckIn); });
+      }
+    } else {
+      // The peer's SYN arrived at self: answer with a SYN-ACK.
+      if (c.state == ConnState::kSynReceived) {
+        emit_now(c, Dir::kOut, 0, core::TcpFlags{.syn = true, .ack = true}, 0, 0);
+      }
+    }
+    return;
+  }
+  if (f.syn && f.ack) {
+    if (wire == Dir::kIn) {
+      // Peer's SYN-ACK reached self: complete the outbound handshake.
+      if (c.state == ConnState::kSynSent) {
+        emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true}, 0, 0);
+        establish(c);
+      }
+    } else {
+      // Self's SYN-ACK egressed toward the opener; its final ACK returns.
+      if (c.state == ConnState::kSynReceived && !path_lost(c)) {
+        const std::uint32_t tag = c.tag;
+        sim_->schedule_after(c.reply_delay,
+                             [this, tag] { on_ctrl(tag, Ctrl::kHsAckIn); });
+      }
+    }
+    return;
+  }
+  if (f.fin) {
+    if (wire == Dir::kOut) {
+      if (c.state == ConnState::kFinWait && !path_lost(c)) {
+        const std::uint32_t tag = c.tag;
+        sim_->schedule_after(c.reply_delay,
+                             [this, tag] { on_ctrl(tag, Ctrl::kFinAckIn); });
+      }
+    } else {
+      // Peer's FIN-ACK arrived: final ACK out, then the slot recycles. Any
+      // packets of this connection still in flight carry a stale tag and
+      // are ignored on delivery.
+      if (c.state == ConnState::kFinWait) {
+        emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true}, 0, c.in.rcv_nxt);
+        release(c);
+      }
+    }
+    return;
+  }
+  if (payload > 0) {
+    const std::int64_t seq = static_cast<std::int64_t>(pkt.seq);
+    if (wire == Dir::kOut) {
+      // Out-half data at RSW egress: beyond-RSW loss, then the synthetic
+      // far receiver.
+      if (!path_lost(c)) on_data_at_receiver(c, Dir::kOut, seq, payload, f.psh);
+    } else {
+      on_data_at_receiver(c, Dir::kIn, seq, payload, f.psh);
+    }
+    return;
+  }
+  // Pure ACK.
+  if (wire == Dir::kIn) {
+    if (c.state == ConnState::kSynReceived) {
+      // The opener's final handshake ACK.
+      establish(c);
+      return;
+    }
+    on_ack_at_sender(c, Dir::kOut, static_cast<std::int64_t>(pkt.ack));
+  } else {
+    // Self's ACK egressed toward the in-half's remote sender.
+    if (c.state == ConnState::kSynSent || path_lost(c)) return;
+    const std::uint32_t tag = c.tag;
+    const std::int64_t ackno = static_cast<std::int64_t>(pkt.ack);
+    sim_->schedule_after(c.beyond + params_.host_delay, [this, tag, ackno] {
+      TcpConnection* cp2 = resolve(tag);
+      if (cp2 != nullptr) on_ack_at_sender(*cp2, Dir::kIn, ackno);
+    });
+  }
+}
+
+void TransportMux::on_dropped(const core::SimPacket& pkt) {
+  if (pkt.flow_tag == 0) return;
+  ++stats_.switch_drop_notifications;
+  FBDCSIM_T_COUNTER(drops, "transport.switch_drops", Sim);
+  FBDCSIM_T_ADD(drops, 1);
+  TcpConnection* cp = resolve(pkt.flow_tag);
+  if (cp == nullptr || pkt.header.payload_bytes <= 0) return;
+  const Dir dir = pkt.src == cp->self ? Dir::kOut : Dir::kIn;
+  ++half(*cp, dir).switch_dropped_segments;
+}
+
+}  // namespace fbdcsim::transport

@@ -1,0 +1,97 @@
+#include "fbdcsim/transport/tcp.h"
+
+#include <algorithm>
+
+namespace fbdcsim::transport {
+
+std::int64_t cwnd_after_ack(std::int64_t cwnd, std::int64_t ssthresh,
+                            std::int64_t acked_bytes, std::int64_t mss,
+                            std::int64_t max_cwnd) {
+  if (acked_bytes <= 0) return cwnd;
+  if (cwnd < ssthresh) {
+    // Slow start: cwnd grows by the bytes newly acknowledged (doubling per
+    // RTT), never overshooting ssthresh by more than one increment.
+    cwnd += std::min(acked_bytes, mss);
+  } else {
+    // Congestion avoidance: +mss per cwnd of acked data, i.e. mss^2/cwnd
+    // per full-MSS ACK (at least 1 byte so growth never stalls).
+    cwnd += std::max<std::int64_t>(1, mss * mss / std::max<std::int64_t>(cwnd, 1));
+  }
+  return std::min(cwnd, max_cwnd);
+}
+
+std::int64_t ssthresh_on_loss(std::int64_t inflight, std::int64_t mss) {
+  return std::max(inflight / 2, 2 * mss);
+}
+
+void enter_fast_recovery(HalfStream& h, const TcpParams& p) {
+  h.ssthresh = ssthresh_on_loss(h.inflight(), p.mss_bytes);
+  h.cwnd = h.ssthresh + p.dupack_threshold * p.mss_bytes;
+  h.in_recovery = true;
+  h.recover = h.snd_nxt;
+  h.rtx_next = h.snd_una;
+  h.dupacks = 0;
+}
+
+void apply_rto(HalfStream& h, const TcpParams& p) {
+  h.ssthresh = ssthresh_on_loss(h.inflight(), p.mss_bytes);
+  h.cwnd = p.mss_bytes;
+  h.in_recovery = false;
+  h.dupacks = 0;
+  h.rtx_next = -1;
+  // Go-back-N: transmission restarts from the lowest unacknowledged byte.
+  h.snd_nxt = h.snd_una;
+  h.backoff = std::min(h.backoff + 1, p.max_backoff);
+}
+
+bool receiver_deliver(HalfStream& h, std::int64_t seq, std::int64_t len, bool psh) {
+  if (len <= 0) return false;
+  const std::int64_t end = seq + len;
+  if (end <= h.rcv_nxt) {
+    // Fully duplicate (retransmission overlap): re-ACK immediately so the
+    // sender's cumulative state catches up.
+    return true;
+  }
+  if (seq > h.rcv_nxt) {
+    // Out of order: remember the range if there is room (overflow just
+    // means the sender retransmits more) and signal a duplicate ACK.
+    if (h.ooo_count < HalfStream::kMaxOooRanges) {
+      h.ooo_lo[h.ooo_count] = seq;
+      h.ooo_hi[h.ooo_count] = end;
+      ++h.ooo_count;
+    }
+    return true;
+  }
+
+  // In order (possibly overlapping the front): advance and merge.
+  h.rcv_nxt = end;
+  bool any_merge = false;
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (int i = 0; i < h.ooo_count; ++i) {
+      if (h.ooo_lo[i] <= h.rcv_nxt) {
+        h.rcv_nxt = std::max(h.rcv_nxt, h.ooo_hi[i]);
+        h.ooo_lo[i] = h.ooo_lo[h.ooo_count - 1];
+        h.ooo_hi[i] = h.ooo_hi[h.ooo_count - 1];
+        --h.ooo_count;
+        merged = true;
+        any_merge = true;
+        break;
+      }
+    }
+  }
+
+  if (psh || any_merge || h.ooo_count > 0) {
+    h.segs_since_ack = 0;
+    return true;
+  }
+  // Delayed ACK: every second in-order segment.
+  if (++h.segs_since_ack >= 2) {
+    h.segs_since_ack = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fbdcsim::transport

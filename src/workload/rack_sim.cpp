@@ -5,6 +5,7 @@
 
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/telemetry/telemetry.h"
+#include "fbdcsim/transport/mux.h"
 
 namespace fbdcsim::workload {
 
@@ -26,17 +27,38 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
   if (!config_.monitored_host.is_valid()) {
     throw std::invalid_argument{"RackSimulation: monitored_host required"};
   }
+  if (config_.uplink_ports < 1) {
+    // The ECMP spread and every uplink-counter analysis assume at least one
+    // CSW-facing port; a rack with none would wedge all cross-rack traffic.
+    throw std::invalid_argument{"RackSimulation: uplink_ports must be >= 1"};
+  }
   rack_ = fleet.host(config_.monitored_host).rack;
   const topology::Rack& rack = fleet.rack(rack_);
   num_host_ports_ = rack.hosts.size();
+  if (num_host_ports_ == 0) {
+    throw std::invalid_argument{"RackSimulation: monitored rack has no hosts"};
+  }
 
   faulted_ = config_.faults != nullptr && config_.faults->enabled();
 
   switching::SwitchConfig sw = config_.rsw;
   sw.num_ports = num_host_ports_ + static_cast<std::size_t>(config_.uplink_ports);
   switching::apply_fault_profile(sw, config_.faults, config_.seed);
+  // Delivery callback: scripted runs ignore it (packets simply leave the
+  // modelled rack); in TCP mode the transport engine observes every egress
+  // so ACK clocking and handshake progress are driven by real switch
+  // behavior. transport_ is still null here — the check happens per packet.
   rsw_ = std::make_unique<switching::SharedBufferSwitch>(
-      sim_, sw, [](std::size_t, const SimPacket&) { /* leaves the modelled rack */ });
+      sim_, sw, [this](std::size_t, const SimPacket& packet) {
+        if (transport_) transport_->on_delivered(packet);
+      });
+  if (config_.transport == Transport::kTcp) {
+    transport_ = std::make_unique<transport::TransportMux>(
+        sim_, fleet, *this, config_.tcp, config_.faults, config_.seed);
+    rsw_->set_drop_hook([this](std::size_t, const SimPacket& packet) {
+      transport_->on_dropped(packet);
+    });
+  }
 
   // Uplink fault evaluation. Link-minute faults are sampled once at t=0 for
   // the whole run: a rack capture spans minutes at most, and a fixed ECMP
@@ -102,7 +124,12 @@ std::size_t RackSimulation::egress_port_for(const SimPacket& packet) const {
     // Downlink port: the destination host's position within the rack.
     const auto& hosts = fleet_->rack(rack_).hosts;
     const auto it = std::find(hosts.begin(), hosts.end(), packet.dst);
-    return static_cast<std::size_t>(std::distance(hosts.begin(), it));
+    if (it != hosts.end()) {
+      return static_cast<std::size_t>(std::distance(hosts.begin(), it));
+    }
+    // Host claims this rack but is missing from its member list
+    // (inconsistent fleet) — route via an uplink rather than indexing a
+    // port that does not exist.
   }
   // Uplink: ECMP over the live CSW-facing ports by 5-tuple hash. Fault-free
   // runs hash over all uplinks (identical to the pre-fault behaviour).
@@ -137,8 +164,11 @@ void RackSimulation::host_receive(const SimPacket& packet) {
   if (dst.rack != rack_) return;  // not for this rack (defensive)
   const auto& hosts = fleet_->rack(rack_).hosts;
   const auto it = std::find(hosts.begin(), hosts.end(), packet.dst);
+  if (it == hosts.end()) return;  // inconsistent fleet: no downlink port
   rsw_->enqueue(static_cast<std::size_t>(std::distance(hosts.begin(), it)), packet);
 }
+
+transport::DemandSink* RackSimulation::transport() { return transport_.get(); }
 
 RackSimResult RackSimulation::run() {
   // Start the models at t=0; open the capture window after warmup.

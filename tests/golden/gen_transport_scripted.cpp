@@ -1,0 +1,45 @@
+// Golden generator for the scripted-transport differential gate.
+//
+// Prints one line per (role, faults) preset: the order-sensitive
+// fingerprint of a default-config rack capture (the same presets the
+// engine-differential harness runs). The committed golden
+// (tests/golden/transport_scripted.golden.txt) was produced by this tool
+// on the tree BEFORE the transport/ subsystem landed; the
+// TransportScriptedGolden test re-runs the presets with
+// RackSimConfig::transport = kScripted and compares, proving the opt-in
+// TCP path leaves the scripted path byte-identical to pre-transport
+// output. Regenerate (only when a PR deliberately changes scripted
+// output) with:
+//
+//   cmake --build build --target gen_transport_scripted
+//   ./build/tests/gen_transport_scripted > tests/golden/transport_scripted.golden.txt
+#include <cstdio>
+
+#include "../support/rack_fingerprint.h"
+#include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/workload/presets.h"
+
+using namespace fbdcsim;
+
+int main() {
+  const core::HostRole kRoles[] = {core::HostRole::kWeb, core::HostRole::kCacheFollower,
+                                   core::HostRole::kCacheLeader, core::HostRole::kHadoop};
+  const topology::Fleet fleet = workload::build_rack_experiment_fleet();
+  const faults::FaultPlan heavy{faults::heavy_profile()};
+  for (const core::HostRole role : kRoles) {
+    for (const bool faulted : {false, true}) {
+      workload::RackSimConfig cfg =
+          workload::default_rack_config(fleet, role, core::Duration::millis(300));
+      cfg.warmup = core::Duration::millis(100);
+      cfg.sample_buffer = true;
+      if (faulted) cfg.faults = &heavy;
+      workload::RackSimulation rack{fleet, cfg};
+      const workload::RackSimResult result = rack.run();
+      std::printf("%s %s %016llx %zu %llu\n", core::to_string(role),
+                  faulted ? "heavy" : "off",
+                  static_cast<unsigned long long>(tests::fingerprint(result)),
+                  result.trace.size(), static_cast<unsigned long long>(result.events));
+    }
+  }
+  return 0;
+}

@@ -18,8 +18,8 @@
 #include <tuple>
 #include <vector>
 
+#include "../support/rack_fingerprint.h"
 #include "fbdcsim/faults/fault_plan.h"
-#include "fbdcsim/telemetry/export.h"
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/topology/standard_fleet.h"
 #include "fbdcsim/workload/presets.h"
@@ -29,58 +29,8 @@ namespace fbdcsim::workload {
 namespace {
 
 using core::HostRole;
-
-std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-/// Order-sensitive fingerprint of everything a rack run produces.
-std::uint64_t fingerprint(const RackSimResult& r) {
-  std::uint64_t h = 0;
-  for (const core::PacketHeader& p : r.trace) {
-    h = mix64(h, static_cast<std::uint64_t>(p.timestamp.count_nanos()));
-    h = mix64(h, p.tuple.src_ip.value());
-    h = mix64(h, p.tuple.dst_ip.value());
-    h = mix64(h, (static_cast<std::uint64_t>(p.tuple.src_port) << 16) | p.tuple.dst_port);
-    h = mix64(h, static_cast<std::uint64_t>(p.tuple.protocol));
-    h = mix64(h, static_cast<std::uint64_t>(p.frame_bytes));
-    h = mix64(h, static_cast<std::uint64_t>(p.payload_bytes));
-    h = mix64(h, static_cast<std::uint64_t>(p.flags.syn) | (static_cast<std::uint64_t>(p.flags.ack) << 1) |
-                     (static_cast<std::uint64_t>(p.flags.fin) << 2) |
-                     (static_cast<std::uint64_t>(p.flags.rst) << 3) |
-                     (static_cast<std::uint64_t>(p.flags.psh) << 4));
-  }
-  for (const auto& s : r.buffer_seconds) {
-    h = mix64(h, static_cast<std::uint64_t>(s.second));
-    h = mix64(h, static_cast<std::uint64_t>(s.median_fraction * 1e12));
-    h = mix64(h, static_cast<std::uint64_t>(s.max_fraction * 1e12));
-  }
-  for (const switching::PortCounters& c : {r.uplink, r.downlinks}) {
-    h = mix64(h, static_cast<std::uint64_t>(c.tx_packets));
-    h = mix64(h, static_cast<std::uint64_t>(c.tx_bytes));
-    h = mix64(h, static_cast<std::uint64_t>(c.enqueued_packets));
-    h = mix64(h, static_cast<std::uint64_t>(c.dropped_packets));
-    h = mix64(h, static_cast<std::uint64_t>(c.dropped_bytes));
-    h = mix64(h, static_cast<std::uint64_t>(c.queuing_delay_ns));
-    h = mix64(h, static_cast<std::uint64_t>(c.max_queuing_delay_ns));
-  }
-  h = mix64(h, static_cast<std::uint64_t>(r.capture_dropped));
-  h = mix64(h, static_cast<std::uint64_t>(r.capture_injected_dropped));
-  h = mix64(h, r.events);
-  return h;
-}
-
-/// The deterministic (Kind::kSim) section of the metrics snapshot, as the
-/// byte-stable JSON the golden gate uses.
-std::string sim_metrics_json() {
-  const std::string json =
-      telemetry::to_json(telemetry::MetricsRegistry::global().snapshot());
-  const std::size_t sim = json.find("\"sim\":");
-  const std::size_t wall = json.find(",\"wall\":");
-  if (sim == std::string::npos || wall == std::string::npos) return json;
-  return json.substr(sim, wall - sim);
-}
+using tests::fingerprint;
+using tests::sim_metrics_json;
 
 struct Outcome {
   std::uint64_t fingerprint;

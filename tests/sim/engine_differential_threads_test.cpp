@@ -14,10 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "../support/rack_fingerprint.h"
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/parallel_capture.h"
 #include "fbdcsim/runtime/thread_pool.h"
-#include "fbdcsim/telemetry/export.h"
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/topology/standard_fleet.h"
 #include "fbdcsim/workload/presets.h"
@@ -27,35 +27,8 @@ namespace fbdcsim::workload {
 namespace {
 
 using core::HostRole;
-
-std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-std::uint64_t fingerprint(const RackSimResult& r) {
-  std::uint64_t h = mix64(r.events, r.trace.size());
-  for (const core::PacketHeader& p : r.trace) {
-    h = mix64(h, static_cast<std::uint64_t>(p.timestamp.count_nanos()));
-    h = mix64(h, p.tuple.src_ip.value());
-    h = mix64(h, p.tuple.dst_ip.value());
-    h = mix64(h, static_cast<std::uint64_t>(p.frame_bytes));
-  }
-  h = mix64(h, static_cast<std::uint64_t>(r.uplink.tx_bytes));
-  h = mix64(h, static_cast<std::uint64_t>(r.downlinks.tx_bytes));
-  h = mix64(h, static_cast<std::uint64_t>(r.uplink.dropped_packets));
-  h = mix64(h, static_cast<std::uint64_t>(r.capture_dropped));
-  return h;
-}
-
-std::string sim_metrics_json() {
-  const std::string json =
-      telemetry::to_json(telemetry::MetricsRegistry::global().snapshot());
-  const std::size_t sim = json.find("\"sim\":");
-  const std::size_t wall = json.find(",\"wall\":");
-  if (sim == std::string::npos || wall == std::string::npos) return json;
-  return json.substr(sim, wall - sim);
-}
+using tests::fingerprint;
+using tests::sim_metrics_json;
 
 struct BatchOutcome {
   std::vector<std::uint64_t> fingerprints;

@@ -1,0 +1,178 @@
+// Property suite for the pure congestion-control laws in transport/tcp.h.
+// These are the functions the mux applies on every ACK / loss signal; the
+// suite drives them with seeded random inputs (200 cases per property) so
+// the Reno/NewReno invariants hold over the whole operating envelope, not
+// just the handful of trajectories the rack simulations happen to visit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "fbdcsim/core/rng.h"
+#include "fbdcsim/transport/tcp.h"
+
+namespace fbdcsim::transport {
+namespace {
+
+constexpr int kCases = 200;
+
+TcpParams params() { return TcpParams{}; }
+
+TEST(TcpLaws, CwndAfterAckIsMonotoneNonDecreasingAndCapped) {
+  core::RngStream rng{0xC0FFEE};
+  const TcpParams p = params();
+  const std::int64_t cap = p.max_cwnd.count_bytes();
+  for (int i = 0; i < kCases; ++i) {
+    const std::int64_t cwnd = rng.uniform_int(1, cap);
+    const std::int64_t ssthresh = rng.uniform_int(2 * p.mss_bytes, cap);
+    const std::int64_t acked = rng.uniform_int(0, 4 * p.mss_bytes);
+    const std::int64_t next = cwnd_after_ack(cwnd, ssthresh, acked, p.mss_bytes, cap);
+    EXPECT_GE(next, cwnd) << "cwnd must never shrink on an ACK";
+    EXPECT_LE(next, cap) << "cwnd must respect the max_cwnd cap";
+    if (acked > 0 && cwnd < cap) {
+      EXPECT_GT(next, cwnd) << "growth never stalls below the cap";
+    }
+    if (acked == 0) {
+      EXPECT_EQ(next, cwnd);
+    }
+  }
+}
+
+TEST(TcpLaws, SlowStartDoublesPerRttCongestionAvoidanceIsLinear) {
+  const TcpParams p = params();
+  const std::int64_t cap = p.max_cwnd.count_bytes();
+  // Slow start: acking a full cwnd of data in MSS chunks doubles cwnd.
+  std::int64_t cwnd = 10 * p.mss_bytes;
+  const std::int64_t ssthresh = 1'000 * p.mss_bytes;
+  std::int64_t acked_total = cwnd;
+  std::int64_t start = cwnd;
+  while (acked_total > 0) {
+    cwnd = cwnd_after_ack(cwnd, ssthresh, p.mss_bytes, p.mss_bytes, cap);
+    acked_total -= p.mss_bytes;
+  }
+  EXPECT_EQ(cwnd, 2 * start);
+
+  // Congestion avoidance: one RTT of full-MSS ACKs grows cwnd ~one MSS.
+  std::int64_t ca = 100 * p.mss_bytes;  // above ssthresh below
+  const std::int64_t before = ca;
+  const int acks = static_cast<int>(before / p.mss_bytes);
+  for (int i = 0; i < acks; ++i) {
+    ca = cwnd_after_ack(ca, 2 * p.mss_bytes, p.mss_bytes, p.mss_bytes, cap);
+  }
+  EXPECT_NEAR(static_cast<double>(ca - before), static_cast<double>(p.mss_bytes),
+              static_cast<double>(p.mss_bytes) * 0.10);
+}
+
+TEST(TcpLaws, SsthreshOnLossHalvesInflightWithFloor) {
+  core::RngStream rng{0xBEEF};
+  const TcpParams p = params();
+  for (int i = 0; i < kCases; ++i) {
+    const std::int64_t inflight = rng.uniform_int(0, 1'000'000);
+    const std::int64_t s = ssthresh_on_loss(inflight, p.mss_bytes);
+    EXPECT_GE(s, 2 * p.mss_bytes) << "floor of two segments";
+    EXPECT_GE(s, inflight / 2);
+    if (inflight / 2 >= 2 * p.mss_bytes) {
+      EXPECT_EQ(s, inflight / 2);
+    }
+  }
+}
+
+TEST(TcpLaws, FastRecoveryEntryInvariants) {
+  core::RngStream rng{0xFACE};
+  const TcpParams p = params();
+  for (int i = 0; i < kCases; ++i) {
+    HalfStream h;
+    h.snd_una = rng.uniform_int(0, 1'000'000);
+    h.snd_nxt = h.snd_una + rng.uniform_int(0, 64) * p.mss_bytes;
+    h.max_sent = h.snd_nxt;
+    h.cwnd = rng.uniform_int(p.mss_bytes, p.max_cwnd.count_bytes());
+    h.dupacks = p.dupack_threshold;
+    enter_fast_recovery(h, p);
+    EXPECT_TRUE(h.in_recovery);
+    EXPECT_EQ(h.recover, h.snd_nxt) << "recovery point is the send high-water";
+    EXPECT_EQ(h.rtx_next, h.snd_una) << "the first hole retransmits immediately";
+    EXPECT_EQ(h.cwnd, h.ssthresh + p.dupack_threshold * p.mss_bytes)
+        << "window inflates by the dupack threshold";
+    EXPECT_EQ(h.dupacks, 0);
+    EXPECT_EQ(h.ssthresh, ssthresh_on_loss(h.inflight(), p.mss_bytes));
+  }
+}
+
+TEST(TcpLaws, RtoCollapsesWindowAndRewindsGoBackN) {
+  core::RngStream rng{0xD00D};
+  const TcpParams p = params();
+  for (int i = 0; i < kCases; ++i) {
+    HalfStream h;
+    h.snd_una = rng.uniform_int(0, 1'000'000);
+    h.snd_nxt = h.snd_una + rng.uniform_int(1, 64) * p.mss_bytes;
+    h.max_sent = h.snd_nxt;
+    h.cwnd = rng.uniform_int(p.mss_bytes, p.max_cwnd.count_bytes());
+    h.in_recovery = rng.bernoulli(0.5);
+    h.rtx_next = rng.bernoulli(0.5) ? h.snd_una : -1;
+    const int backoff_before = static_cast<int>(rng.uniform_int(0, p.max_backoff + 2));
+    h.backoff = backoff_before;
+    apply_rto(h, p);
+    EXPECT_EQ(h.cwnd, p.mss_bytes) << "RTO collapses cwnd to one segment";
+    EXPECT_EQ(h.snd_nxt, h.snd_una) << "go-back-N restarts from snd_una";
+    EXPECT_FALSE(h.in_recovery);
+    EXPECT_EQ(h.rtx_next, -1);
+    EXPECT_EQ(h.backoff, std::min(backoff_before + 1, p.max_backoff))
+        << "backoff exponent grows but saturates";
+  }
+}
+
+TEST(TcpLaws, ReceiverDeliversEveryPermutationExactlyOnce) {
+  // Bytes conservation at the receiver: any arrival order of the segments
+  // of a stream (with duplicates sprinkled in) ends with rcv_nxt == total
+  // and no leftover out-of-order state. 200 seeded shuffles.
+  const TcpParams p = params();
+  for (int c = 0; c < kCases; ++c) {
+    core::RngStream rng{0x5EED + static_cast<std::uint64_t>(c)};
+    const int nseg = static_cast<int>(rng.uniform_int(1, 24));
+    std::vector<int> order(static_cast<std::size_t>(nseg));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+
+    HalfStream h;
+    const std::int64_t total = static_cast<std::int64_t>(nseg) * p.mss_bytes;
+    // The bounded reorder buffer (8 ranges) can drop far-ahead segments;
+    // real senders retransmit. Loop delivery rounds until drained.
+    int rounds = 0;
+    while (h.rcv_nxt < total && rounds < 64) {
+      ++rounds;
+      for (const int seg : order) {
+        const std::int64_t seq = static_cast<std::int64_t>(seg) * p.mss_bytes;
+        if (seq + p.mss_bytes <= h.rcv_nxt && !rng.bernoulli(0.2)) continue;
+        receiver_deliver(h, seq, p.mss_bytes, seg == nseg - 1);
+      }
+    }
+    EXPECT_EQ(h.rcv_nxt, total) << "seed case " << c;
+    EXPECT_EQ(h.ooo_count, 0) << "no out-of-order residue once in-order";
+  }
+}
+
+TEST(TcpLaws, ReceiverAckPolicy) {
+  const TcpParams p = params();
+  HalfStream h;
+  // In-order, no PSH: delayed ACK fires on every second segment.
+  EXPECT_FALSE(receiver_deliver(h, 0, p.mss_bytes, false));
+  EXPECT_TRUE(receiver_deliver(h, p.mss_bytes, p.mss_bytes, false));
+  EXPECT_FALSE(receiver_deliver(h, 2 * p.mss_bytes, p.mss_bytes, false));
+  // PSH forces an immediate ACK.
+  EXPECT_TRUE(receiver_deliver(h, 3 * p.mss_bytes, p.mss_bytes, true));
+  // A gap forces an immediate (duplicate) ACK and does not advance.
+  EXPECT_TRUE(receiver_deliver(h, 6 * p.mss_bytes, p.mss_bytes, false));
+  EXPECT_EQ(h.rcv_nxt, 4 * p.mss_bytes);
+  // Filling the gap merges and ACKs immediately.
+  EXPECT_TRUE(receiver_deliver(h, 4 * p.mss_bytes, 2 * p.mss_bytes, false));
+  EXPECT_EQ(h.rcv_nxt, 7 * p.mss_bytes);
+  EXPECT_EQ(h.ooo_count, 0);
+  // A pure duplicate re-ACKs immediately.
+  EXPECT_TRUE(receiver_deliver(h, 0, p.mss_bytes, false));
+  EXPECT_EQ(h.rcv_nxt, 7 * p.mss_bytes);
+}
+
+}  // namespace
+}  // namespace fbdcsim::transport
