@@ -13,9 +13,12 @@ Usage:
 
 The merged document carries, per bench: the source report file name, the
 report's own metadata verbatim, and a flattened ``headline`` section (the
-bench's "extra" values plus the sim-counter totals) for quick plotting.
-Reports that fail to parse are listed under ``errors`` instead of
-aborting the merge — one corrupt report must not hide the others.
+bench's "extra" values, the sim-counter totals, and per-series summaries
+of the observability ``timeseries`` section) for quick plotting.
+Reports that fail to parse — or parse but are not report-shaped (a bench
+killed mid-write leaves valid-JSON fragments) — are listed under
+``errors`` instead of aborting the merge: one corrupt report must not
+hide the others.
 """
 
 import argparse
@@ -23,14 +26,41 @@ import json
 import sys
 
 
+def _dict(value) -> dict:
+    """`value` if it is a dict, else {} — partial reports hold anything."""
+    return value if isinstance(value, dict) else {}
+
+
+def _series_summary(series) -> dict | None:
+    """Headline scalars for one timeseries entry (bench/common.h format):
+    sample count plus the last bin's mean — "where did the gauge end up"."""
+    series = _dict(series)
+    bins = series.get("bins")
+    if not isinstance(bins, list) or not bins:
+        return None
+    last = bins[-1]
+    # A bin is [start_ns, count, min, max, last, sum].
+    if not isinstance(last, list) or len(last) != 6 or not last[1]:
+        return None
+    return {
+        "samples": series.get("samples"),
+        "last_bin_mean": last[5] / last[1],
+    }
+
+
 def headline(report: dict) -> dict:
     """The values a trajectory plot most likely wants, flattened."""
     out = {}
-    for key, value in report.get("extra", {}).items():
+    for key, value in _dict(report.get("extra")).items():
         out[f"extra.{key}"] = value
-    counters = report.get("metrics", {}).get("sim", {}).get("counters", {})
+    counters = _dict(_dict(_dict(report.get("metrics")).get("sim")).get("counters"))
     for key, value in counters.items():
         out[f"sim.{key}"] = value
+    for key, entry in _dict(report.get("timeseries")).items():
+        for name, series in _dict(_dict(entry).get("series")).items():
+            summary = _series_summary(series)
+            if summary is not None:
+                out[f"timeseries.{key}.{name}"] = summary
     if "wall_seconds" in report:
         out["wall_seconds"] = report["wall_seconds"]
     return out
@@ -54,6 +84,11 @@ def main(argv: list[str]) -> int:
                 report = json.load(f)
         except (OSError, json.JSONDecodeError) as exc:
             merged["errors"][path] = str(exc)
+            continue
+        if not isinstance(report, dict) or "bench" not in report:
+            # Valid JSON but not a bench report — e.g. a partial write from
+            # a killed bench, or a stray non-report *.json caught by a glob.
+            merged["errors"][path] = "not a bench report (missing 'bench' key)"
             continue
         name = report.get("bench") or path
         merged["benches"][name] = {

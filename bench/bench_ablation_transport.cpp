@@ -14,13 +14,21 @@
 //   - retransmission accounting under the heavy fault profile: the TCP
 //     path's retransmit rate must move when path loss fires, something
 //     the scripted path cannot express at all
+//   - cwnd evolution per role via the observability layer's probe: the
+//     aggregate congestion window's trajectory over the capture, plus the
+//     heavy run's flight-recorder tracepoints (RTO fires, fast-retransmit
+//     transitions) dumped to bench_<name>.tracepoints.jsonl
 //
 // Headline numbers land in the JSON report's "extra" section so the CI
-// bench-smoke trajectory tracks them across commits.
+// bench-smoke trajectory tracks them across commits; series land in its
+// "timeseries" section.
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common.h"
 #include "fbdcsim/analysis/packet_stats.h"
@@ -49,17 +57,42 @@ constexpr std::array<RoleRow, 4> kRoles{{
 workload::RackSimResult run_capture(const topology::Fleet& fleet, core::HostRole role,
                                     std::int64_t seconds, workload::Transport transport,
                                     const faults::FaultPlan* plan,
-                                    transport::TransportMux::Stats* stats_out = nullptr) {
+                                    transport::TransportMux::Stats* stats_out = nullptr,
+                                    bool observe = false) {
   workload::RackSimConfig cfg =
       workload::default_rack_config(fleet, role, core::Duration::seconds(seconds));
   cfg.transport = transport;
   cfg.faults = plan;
+  if (observe) {
+    // The cwnd-evolution sections below ride on the observability layer.
+    // FBDCSIM_OBS may refine the knobs; the bench needs at least `on`, and
+    // caps the series length so four roles' traces stay report-sized.
+    cfg.obs = telemetry::obs_config_from_env();
+    if (!cfg.obs.enabled()) cfg.obs.mode = telemetry::ObsConfig::Mode::kOn;
+    cfg.obs.series_capacity = 64;
+  }
   workload::RackSimulation rack{fleet, cfg};
   workload::RackSimResult result = rack.run();
   if (stats_out != nullptr && rack.transport_mux() != nullptr) {
     *stats_out = rack.transport_mux()->stats();
   }
   return result;
+}
+
+/// The transport.* subset of a run's probe snapshot (the switch/rack series
+/// are fig15 material; per-role cwnd evolution is what this bench reports).
+std::vector<telemetry::SeriesSnapshot> transport_series(
+    const std::vector<telemetry::SeriesSnapshot>& all) {
+  std::vector<telemetry::SeriesSnapshot> out;
+  for (const telemetry::SeriesSnapshot& s : all) {
+    if (s.name.rfind("transport.", 0) == 0) out.push_back(s);
+  }
+  return out;
+}
+
+/// Mean value of a series' first / last bin ("where did cwnd start and end").
+double bin_mean(const telemetry::SeriesBin& b) {
+  return b.count > 0 ? static_cast<double>(b.sum) / static_cast<double>(b.count) : 0.0;
 }
 
 /// Sup-gap between two empirical inverse CDFs over a percentile grid, in
@@ -90,11 +123,13 @@ int main() {
   std::printf("%-8s | %23s | %23s\n", "", "scripted", "tcp (emergent)");
   std::printf("%-8s | %7s %7s %7s | %7s %7s %7s\n", "role", "small", "full", "mid",
               "small", "full", "mid");
+  std::vector<std::pair<const char*, std::vector<telemetry::SeriesSnapshot>>> role_series;
   for (const RoleRow& r : kRoles) {
     const workload::RackSimResult scripted =
         run_capture(fleet, r.role, seconds, workload::Transport::kScripted, nullptr);
-    const workload::RackSimResult tcp =
-        run_capture(fleet, r.role, seconds, workload::Transport::kTcp, nullptr);
+    const workload::RackSimResult tcp = run_capture(
+        fleet, r.role, seconds, workload::Transport::kTcp, nullptr, nullptr,
+        /*observe=*/true);
     const analysis::PacketSizeModes ms = analysis::packet_size_mode_split(scripted.trace);
     const analysis::PacketSizeModes mt = analysis::packet_size_mode_split(tcp.trace);
     std::printf("%-8s | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f\n", r.name,
@@ -103,6 +138,32 @@ int main() {
                 mt.full_fraction, 1.0 - mt.small_fraction - mt.full_fraction);
     report.add_extra(std::string{"tcp_small_frac_"} + r.name, mt.small_fraction);
     report.add_extra(std::string{"tcp_full_frac_"} + r.name, mt.full_fraction);
+    role_series.emplace_back(r.name, transport_series(tcp.timeseries));
+  }
+
+  // --- cwnd evolution per role (observability probe) ----------------------
+  // The aggregate congestion window across the monitored host's live
+  // connections, sampled on the probe cadence during the Figure 12 TCP
+  // captures above. Pooled roles should settle into a steady regime; the
+  // Web role's ephemeral connections keep the aggregate swinging with
+  // connection churn. The full transport.* series land in the report's
+  // "timeseries" section under cwnd_<role>.
+  std::printf("\nAggregate cwnd evolution at the monitored host (bytes, probe means):\n");
+  std::printf("%-8s %12s %12s %12s %9s\n", "role", "first", "last", "max", "samples");
+  for (const auto& [name, series] : role_series) {
+    report.add_timeseries(std::string{"cwnd_"} + name, series);
+    const telemetry::SeriesSnapshot* cwnd =
+        telemetry::find_series(series, "transport.cwnd_bytes");
+    if (cwnd == nullptr || cwnd->bins.empty()) {
+      std::printf("%-8s %12s %12s %12s %9s\n", name, "-", "-", "-", "0");
+      continue;
+    }
+    std::int64_t max_cwnd = 0;
+    for (const telemetry::SeriesBin& b : cwnd->bins) max_cwnd = std::max(max_cwnd, b.max);
+    std::printf("%-8s %12.0f %12.0f %12lld %9lld\n", name, bin_mean(cwnd->bins.front()),
+                bin_mean(cwnd->bins.back()), static_cast<long long>(max_cwnd),
+                static_cast<long long>(cwnd->samples));
+    report.add_extra(std::string{"cwnd_last_mean_"} + name, bin_mean(cwnd->bins.back()));
   }
 
   // --- Figure 14: SYN interarrivals, scripted vs emergent -----------------
@@ -142,8 +203,15 @@ int main() {
        {std::pair<const char*, const faults::FaultPlan*>{"off", nullptr},
         {"heavy", &heavy}}) {
     transport::TransportMux::Stats s;
-    (void)run_capture(fleet, core::HostRole::kHadoop, seconds, workload::Transport::kTcp,
-                      plan, &s);
+    const workload::RackSimResult faulted = run_capture(
+        fleet, core::HostRole::kHadoop, seconds, workload::Transport::kTcp, plan, &s,
+        /*observe=*/true);
+    if (plan != nullptr && !faulted.tracepoints.records.empty()) {
+      // Flight-recorder evidence for the loss events the columns count:
+      // drops, RTO fires, and fast-retransmit transitions in sim order,
+      // merged into bench_<name>.tracepoints.jsonl by the report.
+      report.add_tracepoints(faulted.tracepoints);
+    }
     std::printf("%-7s %10lld %10lld %10lld %9lld %9lld %9lld\n", name,
                 static_cast<long long>(s.segments_sent),
                 static_cast<long long>(s.retransmit_segments),

@@ -43,6 +43,9 @@ RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Twe
   FBDCSIM_T_SPAN2(capture_span, "bench.capture", core::to_string(role));
   workload::RackSimConfig cfg = workload::default_rack_config(
       fleet_, role, core::Duration::seconds(effective_seconds(seconds)));
+  // FBDCSIM_OBS opt-in: applied before the tweak so benches can refine it.
+  // Unset (or off) leaves cfg untouched — captures stay byte-identical.
+  if (const telemetry::ObsConfig& env_obs = obs(); env_obs.enabled()) cfg.obs = env_obs;
   if (tweak) tweak(cfg);
   workload::RackSimulation sim{fleet_, cfg};
   RoleTrace trace;
@@ -67,6 +70,14 @@ const faults::FaultPlan* BenchEnv::fault_plan() {
     }
   }
   return fault_plan_.get();
+}
+
+const telemetry::ObsConfig& BenchEnv::obs() {
+  if (!obs_resolved_) {
+    obs_resolved_ = true;
+    obs_ = telemetry::obs_config_from_env();
+  }
+  return obs_;
 }
 
 std::vector<RoleTrace> BenchEnv::capture_all(std::vector<CaptureSpec> specs) {
@@ -152,14 +163,14 @@ std::string resolve_out_path(const std::string& filename) {
 
 namespace {
 
-/// "foo.json" -> "foo.trace.json"; other extensions just get the suffix.
-std::string trace_path_for(const std::string& report_path) {
+/// "foo.json" -> "foo<insert>.json"; other extensions just get the suffix.
+std::string sibling_path_for(const std::string& report_path, const std::string& insert) {
   const std::string suffix = ".json";
   if (report_path.size() > suffix.size() &&
       report_path.compare(report_path.size() - suffix.size(), suffix.size(), suffix) == 0) {
-    return report_path.substr(0, report_path.size() - suffix.size()) + ".trace.json";
+    return report_path.substr(0, report_path.size() - suffix.size()) + insert;
   }
-  return report_path + ".trace.json";
+  return report_path + insert;
 }
 
 }  // namespace
@@ -195,7 +206,29 @@ std::string BenchReport::report_path() const {
   return resolve_out_path("bench_" + name_ + ".json");
 }
 
-std::string BenchReport::trace_path() const { return trace_path_for(report_path()); }
+std::string BenchReport::trace_path() const {
+  return sibling_path_for(report_path(), ".trace.json");
+}
+
+std::string BenchReport::tracepoints_path() const {
+  return sibling_path_for(report_path(), ".tracepoints.jsonl");
+}
+
+void BenchReport::add_timeseries(const std::string& key,
+                                 const std::vector<telemetry::SeriesSnapshot>& series) {
+  const std::string json = telemetry::timeseries_to_json(series);
+  for (auto& [k, v] : timeseries_) {
+    if (k == key) {
+      v = json;
+      return;
+    }
+  }
+  timeseries_.emplace_back(key, json);
+}
+
+void BenchReport::add_tracepoints(telemetry::TracePointDump dump) {
+  tracepoint_dumps_.push_back(std::move(dump));
+}
 
 std::string BenchReport::to_json() const {
   const telemetry::Snapshot snap = telemetry::MetricsRegistry::global().snapshot();
@@ -257,6 +290,18 @@ std::string BenchReport::to_json() const {
     }
     out += "}";
   }
+  // Probe snapshots (observability runs only) — absent otherwise so
+  // pre-observability reports stay byte-identical.
+  if (!timeseries_.empty()) {
+    out += ",\"timeseries\":{";
+    bool first = true;
+    for (const auto& [key, value] : timeseries_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + telemetry::json_escape(key) + "\":" + value;
+    }
+    out += "}";
+  }
   out += ",\"metrics\":" + telemetry::to_json(snap);
   out += "}";
   return out;
@@ -275,16 +320,30 @@ BenchReport::~BenchReport() {
   }
 
   const auto events = telemetry::Tracer::global().events();
-  if (!events.empty()) {
+  if (!events.empty() || !tracepoint_dumps_.empty()) {
     const std::string tpath = trace_path();
     if (std::FILE* f = std::fopen(tpath.c_str(), "w")) {
-      const std::string json = telemetry::to_chrome_trace(events);
+      // Spans-only reports keep the single-argument exporter so their bytes
+      // are unchanged; dumps add sim-clock instants on their own pid.
+      const std::string json = tracepoint_dumps_.empty()
+                                   ? telemetry::to_chrome_trace(events)
+                                   : telemetry::to_chrome_trace(events, tracepoint_dumps_);
       std::fwrite(json.data(), 1, json.size(), f);
       std::fputc('\n', f);
       std::fclose(f);
       std::fprintf(stderr, "bench trace:  %s (load in chrome://tracing or "
                            "https://ui.perfetto.dev)\n",
                    tpath.c_str());
+    }
+  }
+
+  if (!tracepoint_dumps_.empty()) {
+    const std::string jpath = tracepoints_path();
+    if (std::FILE* f = std::fopen(jpath.c_str(), "w")) {
+      const std::string jsonl = telemetry::tracepoints_to_jsonl(tracepoint_dumps_);
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "bench tracepoints: %s\n", jpath.c_str());
     }
   }
 }

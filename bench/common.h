@@ -21,7 +21,10 @@
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/thread_pool.h"
 #include "fbdcsim/telemetry/export.h"
+#include "fbdcsim/telemetry/obs.h"
 #include "fbdcsim/telemetry/telemetry.h"
+#include "fbdcsim/telemetry/timeseries.h"
+#include "fbdcsim/telemetry/tracepoint.h"
 #include "fbdcsim/workload/presets.h"
 
 namespace fbdcsim::bench {
@@ -64,9 +67,22 @@ class BenchReport {
   void add_extra(const std::string& key, std::int64_t value);
   void add_extra(const std::string& key, const std::string& value);
 
+  /// Attaches a probe snapshot under the report's "timeseries" object as
+  /// `key`. Like "extra", the section only exists once something was added,
+  /// so reports without observability stay byte-identical. Re-adding a key
+  /// overwrites it.
+  void add_timeseries(const std::string& key,
+                      const std::vector<telemetry::SeriesSnapshot>& series);
+
+  /// Attaches a flight-recorder dump. The destructor merges every dump in
+  /// canonical source order into bench_<name>.tracepoints.jsonl and folds
+  /// the records into the Chrome trace as sim-clock instant events.
+  void add_tracepoints(telemetry::TracePointDump dump);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::string report_path() const;
   [[nodiscard]] std::string trace_path() const;
+  [[nodiscard]] std::string tracepoints_path() const;
 
   /// The report JSON (also what the destructor writes). Exposed for tests.
   [[nodiscard]] std::string to_json() const;
@@ -80,6 +96,9 @@ class BenchReport {
   std::chrono::steady_clock::time_point start_;
   /// (key, pre-rendered JSON value) pairs, in first-insertion order.
   std::vector<std::pair<std::string, std::string>> extras_;
+  /// (key, pre-rendered timeseries JSON object), in first-insertion order.
+  std::vector<std::pair<std::string, std::string>> timeseries_;
+  std::vector<telemetry::TracePointDump> tracepoint_dumps_;
 };
 
 /// FBDCSIM_BENCH_SECONDS as a validated value (std::nullopt when unset or
@@ -137,6 +156,12 @@ class BenchEnv {
   /// captures stay fault-free unless a tweak installs this plan.
   [[nodiscard]] const faults::FaultPlan* fault_plan();
 
+  /// The observability config selected by FBDCSIM_OBS, resolved once per
+  /// env (off when unset or malformed). When enabled, capture()/
+  /// capture_all() apply it to every config before the tweak runs, so
+  /// tweaks can still override per capture.
+  [[nodiscard]] const telemetry::ObsConfig& obs();
+
   /// Effective capture length for a nominal request. Malformed or
   /// non-positive FBDCSIM_BENCH_SECONDS values are diagnosed on stderr and
   /// ignored.
@@ -148,6 +173,8 @@ class BenchEnv {
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<faults::FaultPlan> fault_plan_;
   bool fault_plan_resolved_{false};
+  telemetry::ObsConfig obs_;
+  bool obs_resolved_{false};
 };
 
 /// Prints a CDF as (quantile, value) rows at the paper's usual quantiles.

@@ -22,6 +22,11 @@ namespace fbdcsim::faults {
 class FaultPlan;
 }  // namespace fbdcsim::faults
 
+namespace fbdcsim::telemetry {
+class TimeSeriesProbe;
+class TracePointLog;
+}  // namespace fbdcsim::telemetry
+
 namespace fbdcsim::switching {
 
 /// A packet in flight through the simulated rack. The canonical definition
@@ -107,6 +112,15 @@ class SharedBufferSwitch {
 
   void set_port_rate(std::size_t port, core::DataRate rate) { ports_.at(port).rate = rate; }
 
+  /// Installs (or clears) the tracepoint sink. Null by default — the
+  /// non-observed path pays one pointer compare per drop, nothing more.
+  void set_trace_log(telemetry::TracePointLog* log) { trace_log_ = log; }
+
+  /// Registers this switch's sim-time gauges on `probe`: shared-buffer
+  /// occupancy, per-port queue depth, and cumulative tx bytes. The switch
+  /// must outlive the probe's sampling.
+  void register_probes(telemetry::TimeSeriesProbe& probe) const;
+
  private:
   struct Queued {
     SimPacket packet;
@@ -126,6 +140,7 @@ class SharedBufferSwitch {
   SwitchConfig config_;
   DeliverFn deliver_;
   DropFn on_drop_;
+  telemetry::TracePointLog* trace_log_{nullptr};
   // Packet queue nodes come from the switch's arena and recycle through the
   // pool free list, so steady-state enqueue/dequeue never calls malloc.
   // Declared before ports_ so queues are destroyed before their pool.

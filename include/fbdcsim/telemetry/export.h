@@ -16,6 +16,7 @@
 
 #include "fbdcsim/telemetry/metrics.h"
 #include "fbdcsim/telemetry/trace.h"
+#include "fbdcsim/telemetry/tracepoint.h"
 
 namespace fbdcsim::telemetry {
 
@@ -32,6 +33,14 @@ void print_summary(std::FILE* out, const Snapshot& snapshot);
 /// Chrome trace-event format: a `{"traceEvents": [...]}` document of
 /// "X"-phase slices, one per TraceEvent.
 [[nodiscard]] std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Combined export: the wall-clock spans above plus sim-clock tracepoints as
+/// instant ("i") events. The two clocks never mix — spans keep pid 1 and
+/// cat "fbdcsim" (their JSON is byte-identical to the spans-only overload),
+/// tracepoints render on pid 2 under cat "fbdcsim.sim" with ts = sim
+/// microseconds, in canonical source-id order.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                                          std::vector<TracePointDump> tracepoints);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 [[nodiscard]] std::string json_escape(const std::string& s);

@@ -1,0 +1,58 @@
+// Observability opt-in: what the FBDCSIM_OBS env knob selects.
+//
+//   off      (default) no probes, no tracepoints — runs stay byte-identical
+//            to pre-observability releases.
+//   on       time-series probe + flight recorder active; results surface in
+//            RackSimResult / BenchReport.
+//   dump     like `on`, and every simulation dumps its flight recorder to
+//            stderr when the run completes.
+//   dump:N   like `dump` with a flight-recorder capacity of N records
+//            (1..1048576).
+//
+// Malformed values follow the same contract as FBDCSIM_FAULTS /
+// FBDCSIM_BENCH_SECONDS: one stderr diagnostic, then the documented default
+// (off) — never a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fbdcsim/core/time.h"
+
+namespace fbdcsim::telemetry {
+
+struct ObsConfig {
+  enum class Mode : std::uint8_t { kOff, kOn, kDump };
+
+  Mode mode = Mode::kOff;
+  /// Flight-recorder ring capacity (last N tracepoints retained).
+  std::size_t flight_recorder = 256;
+  /// Time-series sampling cadence (the paper's FBOSS counter period).
+  core::Duration probe_period = core::Duration::micros(10);
+  /// Bins retained per series before downsampling doubles the bin width.
+  std::size_t series_capacity = 512;
+  /// Sampling stride for gauges whose evaluation is O(live connections)
+  /// (the transport sums): they fire every Nth probe tick. 100 keeps a Web
+  /// rack's ~10^4-connection sums off the 10 us hot cadence (1 ms
+  /// effective) without touching the O(1) switch/queue gauges.
+  std::int64_t transport_stride = 100;
+
+  [[nodiscard]] bool enabled() const { return mode != Mode::kOff; }
+};
+
+[[nodiscard]] const char* to_string(ObsConfig::Mode mode);
+
+/// Parses an FBDCSIM_OBS value (`off|on|dump[:N]`, lowercase). Returns
+/// std::nullopt on malformed input and, when `error` is non-null, explains
+/// why.
+[[nodiscard]] std::optional<ObsConfig> parse_obs_spec(std::string_view spec,
+                                                      std::string* error = nullptr);
+
+/// FBDCSIM_OBS resolved against the contract above: unset -> off; malformed
+/// -> off with one stderr diagnostic per call.
+[[nodiscard]] ObsConfig obs_config_from_env();
+
+}  // namespace fbdcsim::telemetry

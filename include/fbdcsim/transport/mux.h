@@ -48,6 +48,11 @@ namespace fbdcsim::faults {
 class FaultPlan;
 }  // namespace fbdcsim::faults
 
+namespace fbdcsim::telemetry {
+class TimeSeriesProbe;
+class TracePointLog;
+}  // namespace fbdcsim::telemetry
+
 namespace fbdcsim::transport {
 
 class TransportMux final : public DemandSink {
@@ -101,6 +106,18 @@ class TransportMux final : public DemandSink {
   void on_delivered(const core::SimPacket& packet);
   /// DT admission rejected a packet (a real shared-buffer drop).
   void on_dropped(const core::SimPacket& packet);
+
+  // ---- observability (wired up by the rack simulation) ----
+  /// Installs (or clears) the tracepoint sink for RTO fires, fast-recovery
+  /// transitions, and handshake retries. Null by default (zero cost).
+  void set_trace_log(telemetry::TracePointLog* log) { trace_log_ = log; }
+  /// Registers the mux's sim-time gauges on `probe`: live connection count
+  /// and the out-half cwnd/ssthresh/inflight aggregates plus pending-RTO
+  /// timer count, summed over live connections in slot order. The sums are
+  /// O(live connections) per sample — a Web rack holds ~10^4 — so every
+  /// gauge here registers with `stride` (ObsConfig::transport_stride) to
+  /// stay off the probe's full-rate cadence.
+  void register_probes(telemetry::TimeSeriesProbe& probe, std::int64_t stride) const;
 
   // ---- introspection (tests, benches) ----
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -170,6 +187,7 @@ class TransportMux final : public DemandSink {
   TcpParams params_;
   const faults::FaultPlan* faults_;
   bool faults_enabled_{false};
+  telemetry::TracePointLog* trace_log_{nullptr};
 
   core::Arena arena_;
   core::Pool<TcpConnection> pool_{arena_};

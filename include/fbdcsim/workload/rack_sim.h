@@ -20,6 +20,9 @@
 #include "fbdcsim/services/traffic_model.h"
 #include "fbdcsim/sim/simulator.h"
 #include "fbdcsim/switching/switch.h"
+#include "fbdcsim/telemetry/obs.h"
+#include "fbdcsim/telemetry/timeseries.h"
+#include "fbdcsim/telemetry/tracepoint.h"
 #include "fbdcsim/topology/entities.h"
 #include "fbdcsim/transport/params.h"
 
@@ -80,6 +83,14 @@ struct RackSimConfig {
   /// kReference exists for the differential bit-identity harness
   /// (tests/sim/engine_differential_*) and engine benchmarks.
   sim::Simulator::Engine engine = sim::Simulator::Engine::kBucketed;
+  /// Sim-time observability (DESIGN.md §11). Off by default: runs stay
+  /// byte-identical to pre-observability releases. When enabled (and
+  /// telemetry is compiled in and runtime-enabled), a TimeSeriesProbe
+  /// samples switch/transport gauges every probe_period and a flight
+  /// recorder retains the last N tracepoints; both surface in
+  /// RackSimResult, and Mode::kDump also prints the recorder to stderr
+  /// after the run.
+  telemetry::ObsConfig obs;
   /// Optional fault schedule (must outlive the simulation). When set and
   /// enabled: the RSW shared buffer may start shrunken, failed uplinks
   /// leave the ECMP set, degraded uplinks run at reduced rate, and the
@@ -108,6 +119,11 @@ struct RackSimResult {
   std::uint64_t events{0};
   core::TimePoint capture_start;
   core::TimePoint capture_end;
+  /// Sim-time observability output (empty unless config.obs is enabled and
+  /// telemetry is active): the probe's downsampled series, sorted by name,
+  /// and the flight recorder's retained tracepoints.
+  std::vector<telemetry::SeriesSnapshot> timeseries;
+  telemetry::TracePointDump tracepoints;
 };
 
 /// Runs one rack-level packet simulation. The fleet must outlive the run.
@@ -147,6 +163,12 @@ class RackSimulation : public services::TrafficSink {
   /// models so Wire can pick it up via TrafficSink::transport().
   std::unique_ptr<transport::TransportMux> transport_;
   std::unique_ptr<switching::BufferOccupancySampler> sampler_;
+  /// Observability state (null unless config_.obs opted in): the flight
+  /// recorder exists from construction (fault epochs record at t=0), the
+  /// probe timer only during run().
+  std::unique_ptr<telemetry::TracePointLog> tracepoints_;
+  std::unique_ptr<telemetry::TimeSeriesProbe> probe_;
+  std::unique_ptr<sim::PeriodicTimer> probe_timer_;
   monitoring::CaptureBuffer capture_buffer_;
   std::unique_ptr<monitoring::PortMirror> mirror_;
   std::vector<std::unique_ptr<services::TrafficModel>> models_;

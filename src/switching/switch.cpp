@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <cstdio>
+
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/telemetry/telemetry.h"
+#include "fbdcsim/telemetry/timeseries.h"
+#include "fbdcsim/telemetry/tracepoint.h"
 
 namespace fbdcsim::switching {
 
@@ -53,6 +57,8 @@ bool SharedBufferSwitch::enqueue(std::size_t port_index, const SimPacket& packet
     ++port.counters.dropped_packets;
     port.counters.dropped_bytes += bytes;
     FBDCSIM_T_ADD(dropped, 1);
+    FBDCSIM_T_TRACEPOINT(trace_log_, arrival.count_nanos(), PacketDrop, port_index, bytes,
+                         port.queued_bytes);
     if (on_drop_) on_drop_(port_index, packet);
     return false;
   }
@@ -96,6 +102,21 @@ void SharedBufferSwitch::start_transmission(std::size_t port_index) {
     deliver_(port_index, done);
     start_transmission(port_index);
   });
+}
+
+void SharedBufferSwitch::register_probes(telemetry::TimeSeriesProbe& probe) const {
+  probe.add_gauge("switch.buffer_occupancy_bytes", [this] { return buffered_bytes_; });
+  probe.add_gauge("switch.tx_bytes_total", [this] {
+    std::int64_t total = 0;
+    for (const Port& p : ports_) total += p.counters.tx_bytes;
+    return total;
+  });
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    char name[48];
+    // Zero-padded so the snapshot's name ordering matches port order.
+    std::snprintf(name, sizeof name, "switch.port%03zu.queue_bytes", i);
+    probe.add_gauge(name, [this, i] { return ports_[i].queued_bytes; });
+  }
 }
 
 BufferOccupancySampler::BufferOccupancySampler(sim::Simulator& sim,

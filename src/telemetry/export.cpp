@@ -1,5 +1,6 @@
 #include "fbdcsim/telemetry/export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -131,8 +132,12 @@ std::string to_json(const Snapshot& snapshot) {
   return out;
 }
 
-std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+namespace {
+
+/// Renders the wall-span slice list (no enclosing document) so the combined
+/// exporter reuses the exact same bytes for the wall section.
+std::string wall_span_events(const std::vector<TraceEvent>& events) {
+  std::string out;
   bool first = true;
   for (const TraceEvent& ev : events) {
     if (!first) out += ',';
@@ -149,6 +154,61 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
     out += std::to_string(ev.depth);
     out += "}}";
   }
+  return out;
+}
+
+/// Sim-clock instant events, dumps already in canonical order. pid 2 keeps
+/// the sim timeline in its own track group: the wall spans' ts values are
+/// wall microseconds since program start, these are sim microseconds since
+/// t=0 — Perfetto renders them side by side but they must never share a pid.
+std::string sim_instant_events(const std::vector<TracePointDump>& dumps) {
+  std::string out;
+  bool first = true;
+  for (const TracePointDump& d : dumps) {
+    for (const TracePointRecord& r : d.records) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += to_string(r.kind);
+      out += "\",\"cat\":\"fbdcsim.sim\",\"ph\":\"i\",\"s\":\"p\",\"pid\":2,\"tid\":";
+      out += std::to_string(d.source_id);
+      out += ",\"ts\":";
+      out += std::to_string(r.t_ns / 1000);
+      out += ",\"args\":{\"t_ns\":";
+      out += std::to_string(r.t_ns);
+      out += ",\"entity\":";
+      out += std::to_string(r.entity);
+      out += ",\"a\":";
+      out += std::to_string(r.a);
+      out += ",\"b\":";
+      out += std::to_string(r.b);
+      out += "}}";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += wall_span_events(events);
+  out += "]}";
+  return out;
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events,
+                            std::vector<TracePointDump> tracepoints) {
+  std::stable_sort(tracepoints.begin(), tracepoints.end(),
+                   [](const TracePointDump& a, const TracePointDump& b) {
+                     return a.source_id < b.source_id;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const std::string wall = wall_span_events(events);
+  const std::string sim = sim_instant_events(tracepoints);
+  out += wall;
+  if (!wall.empty() && !sim.empty()) out += ',';
+  out += sim;
   out += "]}";
   return out;
 }

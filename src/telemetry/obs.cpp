@@ -1,0 +1,63 @@
+#include "fbdcsim/telemetry/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbdcsim::telemetry {
+
+const char* to_string(ObsConfig::Mode mode) {
+  switch (mode) {
+    case ObsConfig::Mode::kOff:
+      return "off";
+    case ObsConfig::Mode::kOn:
+      return "on";
+    case ObsConfig::Mode::kDump:
+      return "dump";
+  }
+  return "unknown";
+}
+
+std::optional<ObsConfig> parse_obs_spec(std::string_view spec, std::string* error) {
+  const auto fail = [error](std::string why) -> std::optional<ObsConfig> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
+  ObsConfig config;
+  if (spec == "off") return config;
+  if (spec == "on") {
+    config.mode = ObsConfig::Mode::kOn;
+    return config;
+  }
+  if (spec == "dump") {
+    config.mode = ObsConfig::Mode::kDump;
+    return config;
+  }
+  constexpr std::string_view kDumpPrefix = "dump:";
+  if (spec.substr(0, kDumpPrefix.size()) == kDumpPrefix) {
+    const std::string_view arg = spec.substr(kDumpPrefix.size());
+    if (arg.empty()) return fail("dump: requires a record count");
+    std::size_t n = 0;
+    for (const char c : arg) {
+      if (c < '0' || c > '9') return fail("dump count is not a positive integer");
+      n = n * 10 + static_cast<std::size_t>(c - '0');
+      if (n > 1048576) return fail("dump count exceeds 1048576");
+    }
+    if (n == 0) return fail("dump count must be >= 1");
+    config.mode = ObsConfig::Mode::kDump;
+    config.flight_recorder = n;
+    return config;
+  }
+  return fail("expected off|on|dump[:N]");
+}
+
+ObsConfig obs_config_from_env() {
+  const char* env = std::getenv("FBDCSIM_OBS");
+  if (env == nullptr) return ObsConfig{};
+  std::string error;
+  if (const auto config = parse_obs_spec(env, &error)) return *config;
+  std::fprintf(stderr, "FBDCSIM_OBS='%s' is invalid (%s); observability stays off\n", env,
+               error.c_str());
+  return ObsConfig{};
+}
+
+}  // namespace fbdcsim::telemetry

@@ -6,6 +6,8 @@
 #include "fbdcsim/core/rng.h"
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/telemetry/telemetry.h"
+#include "fbdcsim/telemetry/timeseries.h"
+#include "fbdcsim/telemetry/tracepoint.h"
 
 namespace fbdcsim::transport {
 
@@ -25,6 +27,38 @@ TransportMux::TransportMux(sim::Simulator& sim, const topology::Fleet& fleet,
 TransportMux::~TransportMux() = default;
 
 std::int64_t TransportMux::live_connections() const { return pool_.live(); }
+
+void TransportMux::register_probes(telemetry::TimeSeriesProbe& probe,
+                                   std::int64_t stride) const {
+  probe.add_gauge(
+      "transport.active_connections", [this] { return pool_.live(); }, stride);
+  const auto sum_out = [this](auto field) {
+    std::int64_t total = 0;
+    for (const Slot& s : slots_) {
+      if (s.live) total += field(s.conn->out);
+    }
+    return total;
+  };
+  probe.add_gauge(
+      "transport.cwnd_bytes",
+      [sum_out] { return sum_out([](const HalfStream& h) { return h.cwnd; }); }, stride);
+  probe.add_gauge(
+      "transport.ssthresh_bytes",
+      [sum_out] { return sum_out([](const HalfStream& h) { return h.ssthresh; }); },
+      stride);
+  probe.add_gauge(
+      "transport.inflight_bytes",
+      [sum_out] { return sum_out([](const HalfStream& h) { return h.inflight(); }); },
+      stride);
+  probe.add_gauge("transport.rto_pending", [this] {
+    std::int64_t pending = 0;
+    for (const Slot& s : slots_) {
+      if (!s.live) continue;
+      pending += (s.conn->out.rto_scheduled ? 1 : 0) + (s.conn->in.rto_scheduled ? 1 : 0);
+    }
+    return pending;
+  }, stride);
+}
 
 const TcpConnection* TransportMux::find_connection(const core::FiveTuple& tuple) const {
   const auto it = by_tuple_.find(tuple);
@@ -339,6 +373,8 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
         h.in_recovery = false;
         h.dupacks = 0;
         h.cwnd = std::max(mss, std::min(h.ssthresh, params_.max_cwnd.count_bytes()));
+        FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), FastRtxExit, c.tag,
+                             h.cwnd, 0);
       } else {
         // NewReno partial ACK: retransmit the next hole, stay in recovery.
         h.rtx_next = ackno;
@@ -358,6 +394,8 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
       ++stats_.fast_retransmits;
       FBDCSIM_T_COUNTER(fast, "transport.fast_retransmits", Sim);
       FBDCSIM_T_ADD(fast, 1);
+      FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), FastRtxEnter, c.tag,
+                           h.ssthresh, h.inflight());
     }
   }
   pump(c, dir);
@@ -420,6 +458,8 @@ void TransportMux::on_rto_event(std::uint32_t tag, Dir dir) {
   ++stats_.rto_fired;
   FBDCSIM_T_COUNTER(rto, "transport.rto_fired", Sim);
   FBDCSIM_T_ADD(rto, 1);
+  FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), RtoFired, c.tag, h.cwnd,
+                       h.backoff);
   arm_rto(c, dir);
   pump(c, dir);
 }
@@ -466,6 +506,8 @@ void TransportMux::on_hs_event(std::uint32_t tag) {
     release(c);
     return;
   }
+  FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), HandshakeRetry, c.tag,
+                       c.hs_tries, static_cast<std::int64_t>(c.state));
   switch (c.state) {
     case ConnState::kSynSent:
       emit_now(c, Dir::kOut, 0, core::TcpFlags{.syn = true}, 0, 0);

@@ -41,9 +41,28 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
 
   faulted_ = config_.faults != nullptr && config_.faults->enabled();
 
+#if FBDCSIM_TELEMETRY_ENABLED
+  // Observability opt-in. The flight recorder exists from construction so
+  // t=0 fault-epoch transitions are captured; registered globally so
+  // FlightRecorders::dump_all / the crash handler can reach it.
+  if (config_.obs.enabled() && telemetry::Telemetry::enabled()) {
+    tracepoints_ = std::make_unique<telemetry::TracePointLog>(
+        config_.monitored_host.value(), config_.obs.flight_recorder);
+    telemetry::FlightRecorders::add(tracepoints_.get());
+    telemetry::FlightRecorders::arm_crash_dump();
+    probe_ = std::make_unique<telemetry::TimeSeriesProbe>(config_.obs.probe_period,
+                                                          config_.obs.series_capacity);
+  }
+#endif
+
   switching::SwitchConfig sw = config_.rsw;
   sw.num_ports = num_host_ports_ + static_cast<std::size_t>(config_.uplink_ports);
-  switching::apply_fault_profile(sw, config_.faults, config_.seed);
+  const double shrink = switching::apply_fault_profile(sw, config_.faults, config_.seed);
+  if (shrink < 1.0) {
+    FBDCSIM_T_TRACEPOINT(tracepoints_.get(), 0, FaultEpoch, ~std::uint64_t{0},
+                         telemetry::kFaultEpochBufferShrunk,
+                         static_cast<std::int64_t>(shrink * 1e6));
+  }
   // Delivery callback: scripted runs ignore it (packets simply leave the
   // modelled rack); in TCP mode the transport engine observes every egress
   // so ACK clocking and handshake progress are driven by real switch
@@ -57,6 +76,32 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
         sim_, fleet, *this, config_.tcp, config_.faults, config_.seed);
     rsw_->set_drop_hook([this](std::size_t, const SimPacket& packet) {
       transport_->on_dropped(packet);
+    });
+  }
+  if (tracepoints_) {
+    rsw_->set_trace_log(tracepoints_.get());
+    if (transport_) transport_->set_trace_log(tracepoints_.get());
+  }
+  if (probe_) {
+    rsw_->register_probes(*probe_);
+    if (transport_) {
+      transport_->register_probes(*probe_, config_.obs.transport_stride);
+    }
+    // Link tx bytes split the way every analysis reads them: CSW-facing
+    // uplinks vs host downlinks.
+    probe_->add_gauge("rack.uplink_tx_bytes", [this] {
+      std::int64_t total = 0;
+      for (std::size_t p = num_host_ports_; p < rsw_->num_ports(); ++p) {
+        total += rsw_->counters(p).tx_bytes;
+      }
+      return total;
+    });
+    probe_->add_gauge("rack.downlink_tx_bytes", [this] {
+      std::int64_t total = 0;
+      for (std::size_t p = 0; p < num_host_ports_; ++p) {
+        total += rsw_->counters(p).tx_bytes;
+      }
+      return total;
     });
   }
 
@@ -75,6 +120,8 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
     if (config_.faults->link_failed(link, core::TimePoint::zero())) {
       FBDCSIM_T_COUNTER(failed, "rack.uplinks_failed", Sim);
       FBDCSIM_T_ADD(failed, 1);
+      FBDCSIM_T_TRACEPOINT(tracepoints_.get(), 0, FaultEpoch, port,
+                           telemetry::kFaultEpochUplinkFailed, 0);
       continue;
     }
     const double factor = config_.faults->link_capacity_factor(link, core::TimePoint::zero());
@@ -86,6 +133,9 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
                                      factor))));
       FBDCSIM_T_COUNTER(degraded, "rack.uplinks_degraded", Sim);
       FBDCSIM_T_ADD(degraded, 1);
+      FBDCSIM_T_TRACEPOINT(tracepoints_.get(), 0, FaultEpoch, port,
+                           telemetry::kFaultEpochUplinkDegraded,
+                           static_cast<std::int64_t>(factor * 1e6));
     }
     live_uplinks_.push_back(port);
   }
@@ -116,7 +166,9 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
   }
 }
 
-RackSimulation::~RackSimulation() = default;
+RackSimulation::~RackSimulation() {
+  if (tracepoints_) telemetry::FlightRecorders::remove(tracepoints_.get());
+}
 
 std::size_t RackSimulation::egress_port_for(const SimPacket& packet) const {
   const topology::Host& dst = fleet_->host(packet.dst);
@@ -176,6 +228,11 @@ RackSimResult RackSimulation::run() {
   if (config_.sample_buffer) {
     sampler_ = std::make_unique<switching::BufferOccupancySampler>(sim_, *rsw_);
   }
+  if (probe_) {
+    probe_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.obs.probe_period,
+        [this](core::TimePoint now) { probe_->sample_tick(now.count_nanos()); });
+  }
 
   capture_start_ = core::TimePoint::zero() + config_.warmup;
   sim_.schedule_at(capture_start_, [this] { capturing_ = true; });
@@ -205,6 +262,14 @@ RackSimResult RackSimulation::run() {
   result.events = sim_.executed_events();
   result.capture_start = capture_start_;
   result.capture_end = capture_start_ + config_.capture;
+  if (probe_) {
+    probe_timer_->cancel();
+    result.timeseries = probe_->snapshot();
+  }
+  if (tracepoints_) {
+    result.tracepoints = tracepoints_->snapshot();
+    if (config_.obs.mode == telemetry::ObsConfig::Mode::kDump) tracepoints_->dump(stderr);
+  }
   return result;
 }
 

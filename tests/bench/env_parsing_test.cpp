@@ -1,8 +1,8 @@
 // Fuzz/edge tests for every environment knob the bench harness and runtime
-// read: FBDCSIM_BENCH_SECONDS, FBDCSIM_THREADS, FBDCSIM_BENCH_OUT, and
-// FBDCSIM_FAULTS. The contract under test: malformed values — empty,
-// whitespace, overflow, negative, trailing garbage — always fall back to
-// the documented default and never crash.
+// read: FBDCSIM_BENCH_SECONDS, FBDCSIM_THREADS, FBDCSIM_BENCH_OUT,
+// FBDCSIM_FAULTS, and FBDCSIM_OBS. The contract under test: malformed
+// values — empty, whitespace, overflow, negative, trailing garbage —
+// always fall back to the documented default and never crash.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -13,6 +13,7 @@
 #include "common.h"
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/thread_pool.h"
+#include "fbdcsim/telemetry/obs.h"
 
 namespace fbdcsim::bench {
 namespace {
@@ -180,6 +181,108 @@ TEST(FaultsEnvFuzzTest, BenchEnvFaultPlanResolvesActiveProfiles) {
   EXPECT_TRUE(plan->enabled());
   EXPECT_EQ(plan->config().profile, faults::Profile::kHeavy);
   EXPECT_EQ(env.fault_plan(), plan);  // cached, one instance per env
+}
+
+TEST(ObsEnvFuzzTest, ValidSpecsParse) {
+  std::string error;
+  auto off = telemetry::parse_obs_spec("off", &error);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->mode, telemetry::ObsConfig::Mode::kOff);
+  EXPECT_FALSE(off->enabled());
+
+  auto on = telemetry::parse_obs_spec("on", &error);
+  ASSERT_TRUE(on.has_value());
+  EXPECT_EQ(on->mode, telemetry::ObsConfig::Mode::kOn);
+  EXPECT_TRUE(on->enabled());
+
+  auto dump = telemetry::parse_obs_spec("dump", &error);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->mode, telemetry::ObsConfig::Mode::kDump);
+  EXPECT_EQ(dump->flight_recorder, 256u);  // default ring size
+
+  auto sized = telemetry::parse_obs_spec("dump:64", &error);
+  ASSERT_TRUE(sized.has_value());
+  EXPECT_EQ(sized->mode, telemetry::ObsConfig::Mode::kDump);
+  EXPECT_EQ(sized->flight_recorder, 64u);
+
+  auto max = telemetry::parse_obs_spec("dump:1048576", &error);
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->flight_recorder, 1048576u);
+}
+
+TEST(ObsEnvFuzzTest, MalformedSpecsAreRejectedWithAReason) {
+  const std::vector<const char*> bad{
+      "",       " ",        "ON",       "Off",     "Dump",      "on ",
+      " on",    "dump:",    "dump:0",   "dump:-1", "dump:abc",  "dump:1.5",
+      "dump:1048577",       "dump:99999999999999999999",        "dumpling",
+      "on,dump", "off;on",  "dump:64:128", "\n",   "on\n"};
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_EQ(telemetry::parse_obs_spec(spec, &error), std::nullopt)
+        << "'" << spec << "'";
+    EXPECT_FALSE(error.empty()) << "'" << spec << "' rejected without a reason";
+  }
+  // The error pointer is optional.
+  EXPECT_EQ(telemetry::parse_obs_spec("garbage"), std::nullopt);
+}
+
+TEST(ObsEnvFuzzTest, EnvResolutionFallsBackToOffAndNeverCrashes) {
+  EnvVarGuard guard{"FBDCSIM_OBS"};
+  EXPECT_FALSE(telemetry::obs_config_from_env().enabled());  // unset
+  for (const char* bad : {"", "garbage", "ON", "dump:0", "dump:abc", "½"}) {
+    guard.set(bad);
+    const telemetry::ObsConfig cfg = telemetry::obs_config_from_env();
+    EXPECT_EQ(cfg.mode, telemetry::ObsConfig::Mode::kOff) << "'" << bad << "'";
+  }
+  guard.set("dump:32");
+  const telemetry::ObsConfig cfg = telemetry::obs_config_from_env();
+  EXPECT_EQ(cfg.mode, telemetry::ObsConfig::Mode::kDump);
+  EXPECT_EQ(cfg.flight_recorder, 32u);
+}
+
+TEST(ObsEnvFuzzTest, BenchEnvResolvesObsOncePerEnv) {
+  EnvVarGuard guard{"FBDCSIM_OBS"};
+  guard.set("on");
+  BenchEnv env;
+  const telemetry::ObsConfig& first = env.obs();
+  EXPECT_TRUE(first.enabled());
+  guard.set("off");  // must not affect the already-resolved env
+  EXPECT_TRUE(env.obs().enabled());
+  EXPECT_EQ(&env.obs(), &first);  // cached, one instance per env
+  BenchEnv fresh;
+  EXPECT_FALSE(fresh.obs().enabled());
+}
+
+TEST(BenchReportObsTest, TimeseriesSectionAppearsOnlyWhenAdded) {
+  // Route the reports the destructors write into the test temp dir.
+  EnvVarGuard out_guard{"FBDCSIM_BENCH_OUT"};
+  const std::string tmp = ::testing::TempDir();
+  out_guard.set(tmp.c_str());
+  BenchReport plain{"obs_section_probe"};
+  EXPECT_EQ(plain.to_json().find("\"timeseries\""), std::string::npos);
+
+  telemetry::TimeSeriesProbe probe{core::Duration::micros(10), 4};
+  probe.add_gauge("g", [] { return 7; });
+  probe.sample_tick(0);
+  BenchReport with{"obs_section_probe"};
+  with.add_timeseries("k", probe.snapshot());
+  const std::string json = with.to_json();
+  EXPECT_NE(json.find("\"timeseries\":{\"k\":"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":{\"period_ns\":10000"), std::string::npos);
+  // Re-adding a key overwrites rather than duplicating.
+  with.add_timeseries("k", probe.snapshot());
+  const std::string rejson = with.to_json();
+  EXPECT_EQ(rejson.find("\"timeseries\":{\"k\":"), rejson.rfind("\"timeseries\":{\"k\":"));
+  EXPECT_EQ(rejson.find("\"g\":{"), rejson.rfind("\"g\":{"));
+}
+
+TEST(BenchReportObsTest, TracepointsPathSitsNextToTheReport) {
+  EnvVarGuard guard{"FBDCSIM_BENCH_OUT"};
+  guard.set("/tmp/obs_path_test/");
+  BenchReport report{"pathcheck"};
+  EXPECT_EQ(report.report_path(), "/tmp/obs_path_test/bench_pathcheck.json");
+  EXPECT_EQ(report.tracepoints_path(),
+            "/tmp/obs_path_test/bench_pathcheck.tracepoints.jsonl");
 }
 
 }  // namespace

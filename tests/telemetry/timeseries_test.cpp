@@ -1,0 +1,228 @@
+// TimeSeries / TimeSeriesProbe: the hierarchical-downsampling laws.
+//
+// The ring promises exact conservation under compaction — folding adjacent
+// bins must preserve total count, sum, global min/max, and the final
+// sample — plus bounded memory (bins never exceed the capacity) and a
+// bin width that only ever doubles. The JSON rendering is part of the
+// determinism contract: equal snapshots must serialize byte-identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fbdcsim/telemetry/timeseries.h"
+
+namespace fbdcsim::telemetry {
+namespace {
+
+/// Totals over a snapshot's bins, for comparing against the raw samples.
+struct Totals {
+  std::int64_t count{0};
+  std::int64_t sum{0};
+  std::int64_t min{0};
+  std::int64_t max{0};
+  std::int64_t last{0};
+};
+
+Totals totals(const SeriesSnapshot& snap) {
+  Totals t;
+  bool first = true;
+  for (const SeriesBin& b : snap.bins) {
+    t.count += b.count;
+    t.sum += b.sum;
+    if (first || b.min < t.min) t.min = b.min;
+    if (first || b.max > t.max) t.max = b.max;
+    t.last = b.last;
+    first = false;
+  }
+  return t;
+}
+
+TEST(TimeSeriesTest, SingleBinHoldsExactStats) {
+  TimeSeries s{"x", 10, 8};
+  s.add_sample(0, 5);
+  const SeriesSnapshot snap = s.snapshot();
+  ASSERT_EQ(snap.bins.size(), 1u);
+  EXPECT_EQ(snap.bins[0].start_ns, 0);
+  EXPECT_EQ(snap.bins[0].count, 1);
+  EXPECT_EQ(snap.bins[0].min, 5);
+  EXPECT_EQ(snap.bins[0].max, 5);
+  EXPECT_EQ(snap.bins[0].last, 5);
+  EXPECT_EQ(snap.bins[0].sum, 5);
+  EXPECT_EQ(snap.samples, 1);
+  EXPECT_EQ(snap.bin_samples, 1);
+}
+
+TEST(TimeSeriesTest, CompactionConservesCountSumMinMaxLast) {
+  // Push far more samples than capacity so multiple compactions fire, with
+  // adversarial values (negatives, spikes, plateaus) from a fixed seed.
+  std::mt19937_64 rng{7};
+  std::uniform_int_distribution<std::int64_t> dist{-1000, 1000};
+  TimeSeries s{"occupancy", 10, 16};
+  std::int64_t count = 0, sum = 0, mn = 0, mx = 0, last = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = dist(rng);
+    s.add_sample(static_cast<std::int64_t>(i) * 10, v);
+    if (count == 0 || v < mn) mn = v;
+    if (count == 0 || v > mx) mx = v;
+    ++count;
+    sum += v;
+    last = v;
+  }
+  const SeriesSnapshot snap = s.snapshot();
+  const Totals t = totals(snap);
+  EXPECT_EQ(t.count, count);
+  EXPECT_EQ(t.sum, sum);
+  EXPECT_EQ(t.min, mn);
+  EXPECT_EQ(t.max, mx);
+  EXPECT_EQ(t.last, last);
+  EXPECT_EQ(snap.samples, count);
+}
+
+TEST(TimeSeriesTest, BinsStayBoundedAndWidthOnlyDoubles) {
+  TimeSeries s{"x", 1, 8};
+  std::int64_t prev_width = s.bin_samples();
+  EXPECT_EQ(prev_width, 1);
+  for (int i = 0; i < 4'096; ++i) {
+    s.add_sample(i, i);
+    const SeriesSnapshot snap = s.snapshot();
+    ASSERT_LE(snap.bins.size(), 8u) << "at sample " << i;
+    const std::int64_t width = s.bin_samples();
+    ASSERT_TRUE(width == prev_width || width == 2 * prev_width)
+        << "width jumped " << prev_width << " -> " << width;
+    // Powers of two by induction from 1.
+    ASSERT_EQ(width & (width - 1), 0);
+    prev_width = width;
+  }
+  EXPECT_GT(prev_width, 1) << "capacity 8 with 4096 samples must have compacted";
+}
+
+TEST(TimeSeriesTest, CompletedBinsHoldExactlyBinSamples) {
+  TimeSeries s{"x", 10, 4};
+  for (int i = 0; i < 1'000; ++i) s.add_sample(i * 10, 1);
+  const SeriesSnapshot snap = s.snapshot();
+  // Every bin except possibly the trailing partial holds bin_samples.
+  for (std::size_t i = 0; i + 1 < snap.bins.size(); ++i) {
+    EXPECT_EQ(snap.bins[i].count, snap.bin_samples) << "bin " << i;
+  }
+  ASSERT_FALSE(snap.bins.empty());
+  EXPECT_LE(snap.bins.back().count, snap.bin_samples);
+}
+
+TEST(TimeSeriesTest, BinStartsAreNonDecreasingAndFirstIsFirstSample) {
+  TimeSeries s{"x", 10, 8};
+  for (int i = 0; i < 300; ++i) s.add_sample(500 + i * 10, i);
+  const SeriesSnapshot snap = s.snapshot();
+  ASSERT_FALSE(snap.bins.empty());
+  EXPECT_EQ(snap.bins.front().start_ns, 500);
+  for (std::size_t i = 1; i < snap.bins.size(); ++i) {
+    EXPECT_LT(snap.bins[i - 1].start_ns, snap.bins[i].start_ns);
+  }
+}
+
+TEST(TimeSeriesTest, TinyCapacityIsClampedNotUB) {
+  // Capacities below 2 (or odd ones) cannot pair-merge; the constructor
+  // clamps instead of corrupting.
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    TimeSeries s{"x", 1, cap};
+    std::int64_t sum = 0;
+    for (int i = 0; i < 100; ++i) {
+      s.add_sample(i, i);
+      sum += i;
+    }
+    const SeriesSnapshot snap = s.snapshot();
+    EXPECT_EQ(totals(snap).sum, sum) << "cap=" << cap;
+    EXPECT_EQ(snap.samples, 100) << "cap=" << cap;
+  }
+}
+
+TEST(TimeSeriesProbeTest, SamplesEveryGaugeEachTick) {
+  TimeSeriesProbe probe{core::Duration::micros(10), 32};
+  std::int64_t a = 1, b = 100;
+  probe.add_gauge("a", [&a] { return a; });
+  probe.add_gauge("b", [&b] { return b; });
+  for (int i = 0; i < 5; ++i) {
+    probe.sample_tick(i * 10'000);
+    ++a;
+    b += 10;
+  }
+  EXPECT_EQ(probe.ticks(), 5);
+  EXPECT_EQ(probe.num_series(), 2u);
+  const std::vector<SeriesSnapshot> snaps = probe.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  const SeriesSnapshot* sa = find_series(snaps, "a");
+  const SeriesSnapshot* sb = find_series(snaps, "b");
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sa->samples, 5);
+  EXPECT_EQ(totals(*sa).sum, 1 + 2 + 3 + 4 + 5);
+  EXPECT_EQ(totals(*sb).last, 140);
+  EXPECT_EQ(sa->period_ns, 10'000);
+}
+
+TEST(TimeSeriesProbeTest, StridedGaugesSampleEveryNthTickFromTickZero) {
+  TimeSeriesProbe probe{core::Duration::micros(10), 32};
+  std::int64_t fast_calls = 0, slow_calls = 0;
+  probe.add_gauge("fast", [&fast_calls] { return ++fast_calls; });
+  probe.add_gauge("slow", [&slow_calls] { return ++slow_calls; }, /*stride=*/4);
+  for (int i = 0; i < 10; ++i) probe.sample_tick(i * 10'000);
+  EXPECT_EQ(fast_calls, 10);
+  EXPECT_EQ(slow_calls, 3);  // ticks 0, 4, 8
+  const std::vector<SeriesSnapshot> snaps = probe.snapshot();
+  const SeriesSnapshot* slow = find_series(snaps, "slow");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->samples, 3);
+  // The recorded cadence is the effective one, not the probe's base period.
+  EXPECT_EQ(slow->period_ns, 40'000);
+  EXPECT_EQ(find_series(snaps, "fast")->period_ns, 10'000);
+  // A nonsense stride clamps to 1 instead of dividing by zero.
+  std::int64_t clamped_calls = 0;
+  probe.add_gauge("clamped", [&clamped_calls] { return ++clamped_calls; }, 0);
+  probe.sample_tick(100'000);
+  EXPECT_EQ(clamped_calls, 1);
+}
+
+TEST(TimeSeriesProbeTest, SnapshotIsNameSortedRegardlessOfRegistration) {
+  TimeSeriesProbe probe{core::Duration::micros(10)};
+  probe.add_gauge("zeta", [] { return 1; });
+  probe.add_gauge("alpha", [] { return 2; });
+  probe.add_gauge("mid", [] { return 3; });
+  probe.sample_tick(0);
+  const std::vector<SeriesSnapshot> snaps = probe.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "alpha");
+  EXPECT_EQ(snaps[1].name, "mid");
+  EXPECT_EQ(snaps[2].name, "zeta");
+}
+
+TEST(TimeSeriesProbeTest, FindSeriesReturnsNullWhenAbsent) {
+  TimeSeriesProbe probe{core::Duration::micros(10)};
+  probe.add_gauge("present", [] { return 0; });
+  const std::vector<SeriesSnapshot> snaps = probe.snapshot();
+  EXPECT_NE(find_series(snaps, "present"), nullptr);
+  EXPECT_EQ(find_series(snaps, "absent"), nullptr);
+  EXPECT_EQ(find_series({}, "anything"), nullptr);
+}
+
+TEST(TimeSeriesJsonTest, RenderingIsByteDeterministicAndWellFormed) {
+  TimeSeriesProbe probe{core::Duration::micros(10), 4};
+  std::int64_t v = -3;
+  probe.add_gauge("neg", [&v] { return v; });
+  for (int i = 0; i < 11; ++i) {
+    probe.sample_tick(i * 10'000);
+    v += 2;
+  }
+  const std::string a = timeseries_to_json(probe.snapshot());
+  const std::string b = timeseries_to_json(probe.snapshot());
+  EXPECT_EQ(a, b);
+  // Structural spot checks — the exact grammar the aggregator documents.
+  EXPECT_NE(a.find("\"series\":{"), std::string::npos);
+  EXPECT_NE(a.find("\"neg\":{\"period_ns\":10000,\"bin_samples\":"), std::string::npos);
+  EXPECT_NE(a.find("\"bins\":[["), std::string::npos);
+  EXPECT_EQ(timeseries_to_json({}), "{\"series\":{}}");
+}
+
+}  // namespace
+}  // namespace fbdcsim::telemetry
