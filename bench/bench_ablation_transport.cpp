@@ -14,6 +14,10 @@
 //   - retransmission accounting under the heavy fault profile: the TCP
 //     path's retransmit rate must move when path loss fires, something
 //     the scripted path cannot express at all
+//   - a Reno-vs-DCTCP tail contrast per role under a tight shared buffer
+//     plus the heavy fault profile (DESIGN.md §12): DCTCP's CE marks at
+//     the auto-derived threshold must pull the occupancy tail and the
+//     retransmit rate below NewReno's drop-driven reaction
 //   - cwnd evolution per role via the observability layer's probe: the
 //     aggregate congestion window's trajectory over the capture, plus the
 //     heavy run's flight-recorder tracepoints (RTO fires, fast-retransmit
@@ -54,6 +58,12 @@ constexpr std::array<RoleRow, 4> kRoles{{
     {"Hadoop", core::HostRole::kHadoop},
 }};
 
+/// The congestion-control law FBDCSIM_CC selected for this bench run
+/// (resolved once in main); every kTcp capture below runs under it, so
+/// `FBDCSIM_CC=dctcp bench_ablation_transport` re-runs the whole ablation
+/// with the DCTCP variant in place of NewReno.
+transport::CongestionControl g_cc = transport::CongestionControl::kNewReno;
+
 workload::RackSimResult run_capture(const topology::Fleet& fleet, core::HostRole role,
                                     std::int64_t seconds, workload::Transport transport,
                                     const faults::FaultPlan* plan,
@@ -62,6 +72,7 @@ workload::RackSimResult run_capture(const topology::Fleet& fleet, core::HostRole
   workload::RackSimConfig cfg =
       workload::default_rack_config(fleet, role, core::Duration::seconds(seconds));
   cfg.transport = transport;
+  cfg.tcp.cc = g_cc;
   cfg.faults = plan;
   if (observe) {
     // The cwnd-evolution sections below ride on the observability layer.
@@ -116,6 +127,9 @@ int main() {
   bench::BenchEnv env;
   const topology::Fleet& fleet = env.fleet();
   const std::int64_t seconds = bench::BenchEnv::effective_seconds(1);
+  g_cc = env.cc();
+  std::printf("congestion control (FBDCSIM_CC): %s\n\n", transport::to_string(g_cc));
+  report.add_extra("cc", std::string{transport::to_string(g_cc)});
 
   // --- Figure 12: packet-size mode split, scripted vs emergent ------------
   std::printf("Packet-size mode split (fraction of frames; small = ACK/control mode,\n");
@@ -225,10 +239,90 @@ int main() {
     report.add_extra(std::string{"rtx_rate_"} + name, rate);
   }
 
+  // --- Reno vs DCTCP: occupancy/retransmit tail contrast ------------------
+  // The §7 question made testable (DESIGN.md §12): squeeze the shared pool
+  // to incast scale — the fig15 regime, where the rack's fan-in contends
+  // for a 32-KB pool — and run the same seeded workload under both
+  // congestion-control laws, with the switch as the only loss source (no
+  // fault plan: the heavy profile's path loss would retransmit ~16% of
+  // segments under EITHER law and bury the cc signal; its composition with
+  // marking is gated by tests/transport/dctcp_differential_test.cpp).
+  // NewReno first learns about the queue when DT admission drops a
+  // segment; DCTCP sees CE marks at the auto-derived threshold K =
+  // buffer/4 and backs off in proportion to the mark fraction, so it
+  // should hold the occupancy tail near K and retransmit less. This
+  // section always runs both laws regardless of FBDCSIM_CC.
+  std::printf("\nReno vs DCTCP, incast-scale shared buffer (32 KB), no faults:\n");
+  std::printf("%-8s %-6s %9s %9s %9s %9s %9s %9s\n", "role", "cc", "rtx_rate", "sw_drops",
+              "marks", "p99.occ", "max.occ", "segs");
+  for (const RoleRow& r : kRoles) {
+    for (const auto cc : {transport::CongestionControl::kNewReno,
+                          transport::CongestionControl::kDctcp}) {
+      workload::RackSimConfig cfg = workload::default_rack_config(
+          fleet, r.role, core::Duration::seconds(seconds));
+      cfg.transport = workload::Transport::kTcp;
+      cfg.tcp.cc = cc;
+      // Incast-scale shared pool (fig15's contended-pool size) and the
+      // service mix pushed past the drain rate so a standing queue forms —
+      // transient microbursts alone are over before one RTT of feedback
+      // can act, and both laws drop them alike. DCTCP's marking threshold
+      // auto-derives to buffer/4.
+      cfg.rsw.buffer_total = core::DataSize::kilobytes(32);
+      cfg.mix = workload::scale_rates(cfg.mix, 4.0);
+      // Occupancy tail via the probe (same series fig15 reads).
+      cfg.obs = telemetry::obs_config_from_env();
+      if (!cfg.obs.enabled()) cfg.obs.mode = telemetry::ObsConfig::Mode::kOn;
+      cfg.obs.series_capacity = 256;
+      workload::RackSimulation rack{fleet, cfg};
+      const workload::RackSimResult result = rack.run();
+      transport::TransportMux::Stats s;
+      if (rack.transport_mux() != nullptr) s = rack.transport_mux()->stats();
+
+      const double buffer_bytes =
+          static_cast<double>(cfg.rsw.buffer_total.count_bytes());
+      double p99_occ = 0.0;
+      double max_occ = 0.0;
+      if (const telemetry::SeriesSnapshot* occ = telemetry::find_series(
+              result.timeseries, "switch.buffer_occupancy_bytes")) {
+        core::Cdf bin_means;
+        std::int64_t max_bytes = 0;
+        for (const telemetry::SeriesBin& b : occ->bins) {
+          if (b.count == 0) continue;
+          bin_means.add(static_cast<double>(b.sum) / static_cast<double>(b.count));
+          max_bytes = std::max(max_bytes, b.max);
+        }
+        if (bin_means.size() > 0) p99_occ = bin_means.quantile(0.99) / buffer_bytes;
+        max_occ = static_cast<double>(max_bytes) / buffer_bytes;
+      }
+      const std::int64_t sw_drops =
+          result.uplink.dropped_packets + result.downlinks.dropped_packets;
+      const std::int64_t marks =
+          result.uplink.ecn_marked_packets + result.downlinks.ecn_marked_packets;
+      const double rtx_rate =
+          s.segments_sent > 0 ? static_cast<double>(s.retransmit_segments) /
+                                    static_cast<double>(s.segments_sent)
+                              : 0.0;
+      const char* cc_name = transport::to_string(cc);
+      std::printf("%-8s %-6s %9.4f %9lld %9lld %9.3f %9.3f %9lld\n", r.name, cc_name,
+                  rtx_rate, static_cast<long long>(sw_drops),
+                  static_cast<long long>(marks), p99_occ, max_occ,
+                  static_cast<long long>(s.segments_sent));
+      report.add_extra(std::string{"rtx_rate_"} + cc_name + "_" + r.name, rtx_rate);
+      report.add_extra(std::string{"p99_occ_"} + cc_name + "_" + r.name, p99_occ);
+      report.add_extra(std::string{"sw_drops_"} + cc_name + "_" + r.name, sw_drops);
+      if (cc == transport::CongestionControl::kDctcp) {
+        report.add_extra(std::string{"ecn_marks_"} + r.name, marks);
+      }
+    }
+  }
+
   std::printf(
       "\nReading: the TCP columns must show both Figure 12 modes without any\n"
       "scripted size distribution feeding them, SYN interarrival quantiles\n"
       "within the same regime as the scripted draw, and a retransmit rate\n"
-      "that moves from ~0 to visibly positive under the heavy profile.\n");
+      "that moves from ~0 to visibly positive under the heavy profile.\n"
+      "In the Reno-vs-DCTCP table, the dctcp rows must mark (marks > 0)\n"
+      "and hold a lower occupancy tail and/or retransmit rate than the\n"
+      "reno rows wherever the tight buffer actually contends.\n");
   return 0;
 }

@@ -16,8 +16,15 @@
 // exercises exactly the path DESIGN.md §11 documents: the per-bin means
 // give the hour's median occupancy, the bin maxima its peak, and the
 // peak-hour series lands in the report's "timeseries" section.
+//
+// A closing section reruns the diurnal-peak window under the flow-level
+// TCP engine with a `cc` column (NewReno vs DCTCP, DESIGN.md §12), asking
+// the paper's §7 buffer-sharing question of Figure 15's own scenario.
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <string_view>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -39,7 +46,8 @@ struct HourStats {
 };
 
 HourStats run_hour(const topology::Fleet& fleet, core::HostRole role, double diurnal_factor,
-                   int hour) {
+                   int hour,
+                   const std::function<void(workload::RackSimConfig&)>& tweak = {}) {
   workload::RackSimConfig cfg =
       workload::default_rack_config(fleet, role, core::Duration::seconds(2));
   cfg.mirror_whole_rack = false;             // no trace needed, just the switch
@@ -57,6 +65,7 @@ HourStats run_hour(const topology::Fleet& fleet, core::HostRole role, double diu
   // (e.g. dump mode); the bench needs at least `on`.
   cfg.obs = telemetry::obs_config_from_env();
   if (!cfg.obs.enabled()) cfg.obs.mode = telemetry::ObsConfig::Mode::kOn;
+  if (tweak) tweak(cfg);
 
   workload::RackSimulation sim{fleet, cfg};
   auto result = sim.run();
@@ -116,6 +125,53 @@ int main() {
 
   run_rack("Web-server", "web_peak", fleet, core::HostRole::kWeb, report);
   run_rack("Cache", "cache_peak", fleet, core::HostRole::kCacheFollower, report);
+
+  // --- Peak hour by transport / congestion control ------------------------
+  // The paper's §7 buffer-sharing question asked of Figure 15's own
+  // scenario (DESIGN.md §12): rerun the diurnal-peak window with the
+  // flow-level TCP engine under both congestion-control laws. The scripted
+  // row replays the peak row of the tables above; the dctcp row's marking
+  // threshold auto-derives to buffer/4, so its occupancy column should
+  // fall toward K wherever the emergent senders actually contend for the
+  // pool, while utilization holds.
+  {
+    core::DiurnalProfile diurnal{{.peak_to_trough = 2.0, .peak_hour = 20.0,
+                                  .weekend_factor = 1.0}};
+    const double peak_factor = diurnal.factor_at(core::Duration::hours(20));
+    std::printf("\n-- Peak hour (20:00), transport x congestion control --\n");
+    std::printf("%-10s %-9s %-6s %12s %9s %9s %7s\n", "rack", "transport", "cc",
+                "median.occ", "max.occ", "util", "drops");
+    struct Variant {
+      const char* transport;
+      const char* cc;
+    };
+    constexpr Variant kVariants[] = {
+        {"scripted", "-"}, {"tcp", "reno"}, {"tcp", "dctcp"}};
+    for (const auto& [rack_name, report_key, role] :
+         {std::tuple{"Web-server", "web_peak", core::HostRole::kWeb},
+          {"Cache", "cache_peak", core::HostRole::kCacheFollower}}) {
+      for (const Variant& v : kVariants) {
+        HourStats s = run_hour(fleet, role, peak_factor, 20,
+                               [&v](workload::RackSimConfig& cfg) {
+                                 if (std::string_view{v.transport} != "tcp") return;
+                                 cfg.transport = workload::Transport::kTcp;
+                                 if (std::string_view{v.cc} == "dctcp") {
+                                   cfg.tcp.cc = transport::CongestionControl::kDctcp;
+                                 }
+                               });
+        std::printf("%-10s %-9s %-6s %12.4f %9.3f %8.2f%% %7lld\n", rack_name,
+                    v.transport, v.cc, s.median_occ, s.max_occ, s.uplink_util * 100.0,
+                    static_cast<long long>(s.drops));
+        if (std::string_view{v.transport} == "tcp") {
+          report.add_extra(
+              std::string{"peak_max_occ_"} + report_key + "_" + v.cc, s.max_occ);
+          report.add_extra(
+              std::string{"peak_drops_"} + report_key + "_" + v.cc,
+              static_cast<std::int64_t>(s.drops));
+        }
+      }
+    }
+  }
 
   std::printf(
       "\nPaper Figure 15 shape: Web rack max occupancy approaches the\n"

@@ -46,6 +46,9 @@ RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Twe
   // FBDCSIM_OBS opt-in: applied before the tweak so benches can refine it.
   // Unset (or off) leaves cfg untouched — captures stay byte-identical.
   if (const telemetry::ObsConfig& env_obs = obs(); env_obs.enabled()) cfg.obs = env_obs;
+  // FBDCSIM_CC: inert under the scripted default; takes effect when the
+  // bench's tweak opts into Transport::kTcp (tweaks may still override).
+  cfg.tcp.cc = cc();
   if (tweak) tweak(cfg);
   workload::RackSimulation sim{fleet_, cfg};
   RoleTrace trace;
@@ -78,6 +81,14 @@ const telemetry::ObsConfig& BenchEnv::obs() {
     obs_ = telemetry::obs_config_from_env();
   }
   return obs_;
+}
+
+transport::CongestionControl BenchEnv::cc() {
+  if (!cc_resolved_) {
+    cc_resolved_ = true;
+    cc_ = transport::cc_from_env();
+  }
+  return cc_;
 }
 
 std::vector<RoleTrace> BenchEnv::capture_all(std::vector<CaptureSpec> specs) {

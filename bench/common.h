@@ -25,6 +25,7 @@
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/telemetry/timeseries.h"
 #include "fbdcsim/telemetry/tracepoint.h"
+#include "fbdcsim/transport/params.h"
 #include "fbdcsim/workload/presets.h"
 
 namespace fbdcsim::bench {
@@ -162,6 +163,12 @@ class BenchEnv {
   /// tweaks can still override per capture.
   [[nodiscard]] const telemetry::ObsConfig& obs();
 
+  /// The congestion-control law selected by FBDCSIM_CC, resolved once per
+  /// env (kNewReno when unset, empty, or malformed). capture()/
+  /// capture_all() apply it to every config before the tweak runs; it is
+  /// inert unless the bench (or its tweak) also opts into Transport::kTcp.
+  [[nodiscard]] transport::CongestionControl cc();
+
   /// Effective capture length for a nominal request. Malformed or
   /// non-positive FBDCSIM_BENCH_SECONDS values are diagnosed on stderr and
   /// ignored.
@@ -175,6 +182,8 @@ class BenchEnv {
   bool fault_plan_resolved_{false};
   telemetry::ObsConfig obs_;
   bool obs_resolved_{false};
+  transport::CongestionControl cc_{transport::CongestionControl::kNewReno};
+  bool cc_resolved_{false};
 };
 
 /// Prints a CDF as (quantile, value) rows at the paper's usual quantiles.

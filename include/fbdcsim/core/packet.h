@@ -21,13 +21,17 @@ enum class Protocol : std::uint8_t {
   kUdp = 17,
 };
 
-/// TCP flag bits (subset the analyses need).
+/// TCP flag bits (subset the analyses need). `ece` is the ECN-Echo bit a
+/// DCTCP receiver sets on ACKs of CE-marked segments; it stays false on
+/// every pre-DCTCP path, so traces and fingerprints are unchanged unless
+/// TcpParams::cc opts in.
 struct TcpFlags {
   bool syn{false};
   bool ack{false};
   bool fin{false};
   bool rst{false};
   bool psh{false};
+  bool ece{false};
 
   friend constexpr bool operator==(TcpFlags, TcpFlags) = default;
 };
@@ -96,6 +100,17 @@ struct PacketHeader {
 /// identifies the owning TcpConnection (pool index + generation, so stale
 /// in-flight packets from a recycled connection are ignored), and
 /// `seq`/`ack` carry the byte-stream positions the TCP model reacts to.
+/// IP-header ECN codepoint of an in-flight packet. Scripted traffic and
+/// NewReno senders leave kNotEct; a DCTCP sender stamps data segments
+/// kEct, and a congested switch rewrites kEct -> kCe on enqueue. Not part
+/// of the captured PacketHeader (the collection pipeline parses neither
+/// TOS byte), so marking never perturbs traces or analyses.
+enum class Ecn : std::uint8_t {
+  kNotEct = 0,  // sender did not opt in; switches never mark
+  kEct = 1,     // ECN-capable transport
+  kCe = 3,      // congestion experienced (marked by a switch)
+};
+
 struct SimPacket {
   PacketHeader header;
   HostId src;
@@ -103,6 +118,7 @@ struct SimPacket {
   std::uint32_t flow_tag{0};
   std::uint64_t seq{0};  // first payload byte index of this segment
   std::uint64_t ack{0};  // cumulative ack (meaningful when header.flags.ack)
+  Ecn ecn{Ecn::kNotEct};
 };
 
 }  // namespace fbdcsim::core

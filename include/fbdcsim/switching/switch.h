@@ -45,6 +45,9 @@ struct PortCounters {
   /// queuing_delay_ns / tx_packets is the mean queuing delay.
   std::int64_t queuing_delay_ns{0};
   std::int64_t max_queuing_delay_ns{0};
+  /// Packets rewritten ECT -> CE on enqueue (zero unless the config sets
+  /// an ecn_threshold and a DCTCP sender stamped ECT).
+  std::int64_t ecn_marked_packets{0};
 };
 
 struct SwitchConfig {
@@ -57,7 +60,24 @@ struct SwitchConfig {
   double dt_alpha = 1.0;
   /// Egress capacity per port (uniform; override per port after creation).
   core::DataRate port_rate = core::DataRate::gigabits_per_sec(10);
+  /// ECN marking threshold K on the SHARED buffer: an admitted ECT packet
+  /// is rewritten to CE when the occupancy it lands in exceeds K
+  /// (mark-on-enqueue, DCTCP-style step marking). Zero disables marking —
+  /// the default, so every existing configuration is byte-identical.
+  /// Non-ECT packets are never marked regardless of K.
+  core::DataSize ecn_threshold = core::DataSize::bytes(0);
 };
+
+/// The marking decision, exposed as a pure function so the property suite
+/// can exercise it without a switch: mark iff marking is enabled
+/// (threshold > 0), the packet is ECN-capable, and the shared-buffer
+/// occupancy AFTER admitting the packet exceeds the threshold. Monotone in
+/// the threshold: raising K can only unmark packets, never mark new ones.
+[[nodiscard]] constexpr bool ecn_should_mark(std::int64_t buffered_bytes_after,
+                                             std::int64_t threshold_bytes, core::Ecn ecn) {
+  return threshold_bytes > 0 && ecn != core::Ecn::kNotEct &&
+         buffered_bytes_after > threshold_bytes;
+}
 
 /// Applies a fault plan's switch-level faults to a config before the switch
 /// is built: the shared buffer shrinks by the plan's per-run factor (keyed

@@ -74,6 +74,10 @@ class TransportMux final : public DemandSink {
     std::int64_t bytes_demanded{0};
     std::int64_t bytes_delivered{0};  // receiver-side in-order advance
     std::int64_t bytes_retransmitted{0};
+    // DCTCP (cc == kDctcp only; zero otherwise):
+    std::int64_t ecn_ce_segments{0};       // CE-marked data seen at receivers
+    std::int64_t ecn_echoed_acks{0};       // ACKs sent with ECE set
+    std::int64_t dctcp_cwnd_reductions{0}; // once-per-window ECE reactions
   };
 
   /// `sink` is the rack simulation (must outlive the mux); `faults` may be
@@ -164,9 +168,9 @@ class TransportMux final : public DemandSink {
   void establish(TcpConnection& c);
   void on_ctrl(std::uint32_t tag, Ctrl ctrl);
   void on_demand(std::uint32_t tag, Dir dir, std::int64_t bytes, core::Duration pace_gap);
-  void on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno);
+  void on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno, bool ece);
   void on_data_at_receiver(TcpConnection& c, Dir dir, std::int64_t seq, std::int64_t len,
-                           bool psh);
+                           bool psh, bool ce);
   void on_rto_event(std::uint32_t tag, Dir dir);
   void on_hs_event(std::uint32_t tag);
   void pump(TcpConnection& c, Dir dir);

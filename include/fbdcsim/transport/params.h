@@ -4,12 +4,43 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "fbdcsim/core/packet.h"
 #include "fbdcsim/core/time.h"
 #include "fbdcsim/core/units.h"
 
 namespace fbdcsim::transport {
+
+/// Congestion-control law selection. kNewReno is the default and is
+/// byte-identical to every pre-DCTCP release; kDctcp adds ECN-driven
+/// window scaling (RFC 8257) on top of the same loss machinery.
+enum class CongestionControl : std::uint8_t {
+  kNewReno = 0,
+  kDctcp = 1,
+};
+
+[[nodiscard]] const char* to_string(CongestionControl cc);
+
+/// Parses a FBDCSIM_CC-style spec ("reno" | "newreno" | "dctcp",
+/// case-sensitive). Returns true on success; on failure leaves `out`
+/// untouched and returns false.
+[[nodiscard]] bool parse_cc_spec(std::string_view spec, CongestionControl& out);
+
+/// Resolves the FBDCSIM_CC environment variable: unset/empty -> kNewReno;
+/// malformed -> kNewReno plus one stderr diagnostic. Never throws.
+[[nodiscard]] CongestionControl cc_from_env();
+
+/// How a connection's fixed beyond-the-RSW propagation delay is derived.
+enum class RttMode : std::uint8_t {
+  /// One constant per locality class (cluster_one_way etc.) — the
+  /// historical behavior, byte-identical to pre-topology-RTT releases.
+  kLocalityClass = 0,
+  /// Hop count along the actual 4-post fabric path times per_hop_one_way,
+  /// plus inter_site_one_way once when the endpoints sit in different
+  /// sites (topology::hops_beyond_rsw).
+  kTopology = 1,
+};
 
 struct TcpParams {
   /// Maximum segment size; 1460 B matches the fleet's 1500-B MTU.
@@ -41,6 +72,31 @@ struct TcpParams {
   /// Handshake/FIN retransmission attempts before the connection gives up
   /// (SYN retries use the RTO machinery with exponential backoff).
   int max_handshake_tries = 5;
+
+  /// Congestion-control law. kNewReno (default) leaves every packet
+  /// non-ECT and never consults the DCTCP fields below.
+  CongestionControl cc = CongestionControl::kNewReno;
+  /// DCTCP alpha EWMA gain as a shift: alpha <- alpha(1 - 2^-g) + F*2^-g
+  /// with g = dctcp_gain_shift (RFC 8257 recommends g = 4, i.e. 1/16).
+  int dctcp_gain_shift = 4;
+  /// Initial alpha in Q16 fixed point (kDctcpAlphaUnit = 1.0). Starting at
+  /// 1.0 (Linux behavior) makes the first marked window halve like Reno.
+  std::int64_t dctcp_initial_alpha = 1 << 16;
+
+  /// Beyond-the-RSW delay derivation (see RttMode). kLocalityClass keeps
+  /// the three constants above authoritative; kTopology derives the delay
+  /// from the fabric path instead.
+  RttMode rtt_mode = RttMode::kLocalityClass;
+  /// Per-hop one-way latency under RttMode::kTopology. 12.5 us per
+  /// switch hop makes the 2-hop intra-cluster path equal the legacy
+  /// 25-us cluster_one_way constant.
+  core::Duration per_hop_one_way = core::Duration::nanos(12'500);
+  /// Extra one-way propagation added once when the endpoints sit in
+  /// different sites (the inter-site backbone's geographic distance, which
+  /// no per-hop constant can represent). The default makes the 5-hop
+  /// inter-site path total exactly the legacy 17.5-ms interdc_one_way:
+  /// 5 * 12.5 us + 17'437.5 us = 17'500 us.
+  core::Duration inter_site_one_way = core::Duration::nanos(17'437'500);
 };
 
 }  // namespace fbdcsim::transport

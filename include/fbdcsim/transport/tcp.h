@@ -51,8 +51,17 @@ struct HalfStream {
   core::TimePoint tx_clock;       // NIC/app-pacing serialization clock
   core::Duration pace_gap;        // application write pacing (0 = NIC rate)
 
+  // -- DCTCP sender state (cc == kDctcp only; inert otherwise) --
+  std::int64_t alpha_q16{0};            // EWMA mark fraction, Q16 fixed point
+  std::int64_t ce_window_end{0};        // snd_nxt snapshot closing the current
+                                        // observation window (~1 RTT of data)
+  std::int64_t window_acked_bytes{0};   // bytes acked in the current window
+  std::int64_t window_marked_bytes{0};  // subset acked with ECE set
+  bool cwnd_reduced_this_window{false}; // at most one reduction per window
+
   // -- receiver (the opposite endpoint of this direction) --
   std::int64_t rcv_nxt{0};
+  bool ce_pending{false};  // CE seen since the last ACK; echo ECE next ACK
   static constexpr int kMaxOooRanges = 8;
   std::int64_t ooo_lo[kMaxOooRanges] = {};
   std::int64_t ooo_hi[kMaxOooRanges] = {};
@@ -109,6 +118,32 @@ void enter_fast_recovery(HalfStream& h, const TcpParams& p);
 /// ssthresh halves, transmission restarts from snd_una (go-back-N), and
 /// the backoff exponent grows (capped).
 void apply_rto(HalfStream& h, const TcpParams& p);
+
+// ---- pure congestion-control laws (DCTCP, RFC 8257) ----
+//
+// All DCTCP arithmetic is integer fixed point (Q16: kDctcpAlphaUnit means
+// alpha = 1.0) so runs are bit-identical across platforms, engines, and
+// thread counts — the same determinism contract every other sim-path law
+// obeys.
+
+/// Q16 fixed-point unit for the DCTCP mark-fraction EWMA.
+inline constexpr std::int64_t kDctcpAlphaUnit = 1 << 16;
+
+/// One observation-window step of the alpha EWMA:
+///   alpha' = alpha * (1 - 2^-g) + F * 2^-g,   F = marked/acked (Q16)
+/// with g = gain_shift. Inputs are clamped (F to [0, 1], alpha' to
+/// [0, kDctcpAlphaUnit]); acked_bytes <= 0 leaves alpha unchanged. The
+/// decay term is floored at one Q16 unit so alpha converges to exactly 0
+/// under sustained zero marking (mirroring Linux's min_not_zero decay).
+[[nodiscard]] std::int64_t dctcp_alpha_update(std::int64_t alpha_q16,
+                                              std::int64_t marked_bytes,
+                                              std::int64_t acked_bytes, int gain_shift);
+
+/// The once-per-window ECE reaction: cwnd' = cwnd * (1 - alpha/2), never
+/// below one MSS. alpha = 1 halves the window (Reno-equivalent); alpha -> 0
+/// leaves it nearly untouched.
+[[nodiscard]] std::int64_t dctcp_cwnd_after_mark(std::int64_t cwnd, std::int64_t alpha_q16,
+                                                 std::int64_t mss);
 
 /// Receiver-side delivery of [seq, seq+len). Advances rcv_nxt, merging any
 /// out-of-order ranges it bridges; out-of-window data is remembered in the

@@ -43,9 +43,11 @@ bool get(std::istream& in, T& value) {
 }
 
 std::uint8_t pack_flags(core::TcpFlags flags) {
+  // Bit 32 (ece) is zero on every pre-DCTCP trace, so old files round-trip
+  // unchanged under the same format version.
   return static_cast<std::uint8_t>((flags.syn ? 1 : 0) | (flags.ack ? 2 : 0) |
                                    (flags.fin ? 4 : 0) | (flags.rst ? 8 : 0) |
-                                   (flags.psh ? 16 : 0));
+                                   (flags.psh ? 16 : 0) | (flags.ece ? 32 : 0));
 }
 
 core::TcpFlags unpack_flags(std::uint8_t bits) {
@@ -55,6 +57,7 @@ core::TcpFlags unpack_flags(std::uint8_t bits) {
       .fin = (bits & 4) != 0,
       .rst = (bits & 8) != 0,
       .psh = (bits & 16) != 0,
+      .ece = (bits & 32) != 0,
   };
 }
 
@@ -184,6 +187,7 @@ bool write_trace_csv(std::ostream& out, std::span<const core::PacketHeader> trac
     if (pkt.flags.fin) out << 'F';
     if (pkt.flags.rst) out << 'R';
     if (pkt.flags.psh) out << 'P';
+    if (pkt.flags.ece) out << 'E';
     out << '\n';
   }
   return out.good();

@@ -63,7 +63,19 @@ bool SharedBufferSwitch::enqueue(std::size_t port_index, const SimPacket& packet
     return false;
   }
 
-  port.queue.push_back(Queued{packet, arrival});
+  Queued item{packet, arrival};
+  // DCTCP-style step marking on the shared buffer: the admitted packet is
+  // rewritten ECT -> CE when the occupancy it lands in exceeds K. Marking
+  // the queued copy means the delivery callback — and therefore the
+  // receiver's ECE echo — sees the mark.
+  if (ecn_should_mark(buffered_bytes_ + bytes, config_.ecn_threshold.count_bytes(),
+                      packet.ecn)) {
+    item.packet.ecn = core::Ecn::kCe;
+    ++port.counters.ecn_marked_packets;
+    FBDCSIM_T_COUNTER(marked, "transport.ecn_marked", Sim);
+    FBDCSIM_T_ADD(marked, 1);
+  }
+  port.queue.push_back(item);
   port.queued_bytes += bytes;
   buffered_bytes_ += bytes;
   ++port.counters.enqueued_packets;

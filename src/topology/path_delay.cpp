@@ -1,0 +1,24 @@
+#include "fbdcsim/topology/path_delay.h"
+
+namespace fbdcsim::topology {
+
+int hops_beyond_rsw(const Fleet& fleet, core::HostId src, core::HostId dst) {
+  const Host& a = fleet.host(src);
+  const Host& b = fleet.host(dst);
+  if (a.rack == b.rack) return 0;
+  if (a.cluster == b.cluster) return 2;  // via one CSW
+  if (a.datacenter == b.datacenter) return 4;  // via CSW -> FC -> CSW'
+  if (a.site == b.site) return 4;  // via CSW -> SiteAgg -> CSW'
+  return 5;  // via CSW -> DR -> DR' -> CSW'
+}
+
+core::Duration one_way_beyond_rsw(const Fleet& fleet, core::HostId src, core::HostId dst,
+                                  core::Duration per_hop,
+                                  core::Duration inter_site_extra) {
+  const int hops = hops_beyond_rsw(fleet, src, dst);
+  core::Duration delay = core::Duration::nanos(hops * per_hop.count_nanos());
+  if (fleet.host(src).site != fleet.host(dst).site) delay = delay + inter_site_extra;
+  return delay;
+}
+
+}  // namespace fbdcsim::topology

@@ -5,6 +5,7 @@
 
 #include "fbdcsim/core/rng.h"
 #include "fbdcsim/faults/fault_plan.h"
+#include "fbdcsim/topology/path_delay.h"
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/telemetry/timeseries.h"
 #include "fbdcsim/telemetry/tracepoint.h"
@@ -49,6 +50,13 @@ void TransportMux::register_probes(telemetry::TimeSeriesProbe& probe,
   probe.add_gauge(
       "transport.inflight_bytes",
       [sum_out] { return sum_out([](const HalfStream& h) { return h.inflight(); }); },
+      stride);
+  // DCTCP mark-fraction EWMA, summed over live out-halves in Q16 units
+  // (divide a sample by live connections * kDctcpAlphaUnit for the mean
+  // alpha). Identically zero under cc = kNewReno.
+  probe.add_gauge(
+      "transport.alpha_q16",
+      [sum_out] { return sum_out([](const HalfStream& h) { return h.alpha_q16; }); },
       stride);
   probe.add_gauge("transport.rto_pending", [this] {
     std::int64_t pending = 0;
@@ -104,19 +112,26 @@ TcpConnection& TransportMux::ensure(const core::FiveTuple& tuple, core::HostId s
   c.tuple_hash = std::hash<core::FiveTuple>{}(tuple);
   c.state = initial;
 
-  switch (fleet_->locality(self, peer)) {
-    case core::Locality::kIntraRack:
-      c.beyond = Duration::nanos(0);
-      break;
-    case core::Locality::kIntraCluster:
-      c.beyond = params_.cluster_one_way;
-      break;
-    case core::Locality::kIntraDatacenter:
-      c.beyond = params_.datacenter_one_way;
-      break;
-    case core::Locality::kInterDatacenter:
-      c.beyond = params_.interdc_one_way;
-      break;
+  if (params_.rtt_mode == RttMode::kTopology) {
+    // Fabric-derived delay: hop count along the 4-post path times the
+    // per-hop latency (plus the inter-site backbone once where it applies).
+    c.beyond = topology::one_way_beyond_rsw(*fleet_, self, peer, params_.per_hop_one_way,
+                                            params_.inter_site_one_way);
+  } else {
+    switch (fleet_->locality(self, peer)) {
+      case core::Locality::kIntraRack:
+        c.beyond = Duration::nanos(0);
+        break;
+      case core::Locality::kIntraCluster:
+        c.beyond = params_.cluster_one_way;
+        break;
+      case core::Locality::kIntraDatacenter:
+        c.beyond = params_.datacenter_one_way;
+        break;
+      case core::Locality::kInterDatacenter:
+        c.beyond = params_.interdc_one_way;
+        break;
+    }
   }
   c.reply_delay = 2 * c.beyond + params_.host_delay;
 
@@ -125,6 +140,8 @@ TcpConnection& TransportMux::ensure(const core::FiveTuple& tuple, core::HostId s
   for (HalfStream* h : {&c.out, &c.in}) {
     h->cwnd = iw;
     h->ssthresh = params_.max_cwnd.count_bytes();
+    h->alpha_q16 =
+        params_.cc == CongestionControl::kDctcp ? params_.dctcp_initial_alpha : 0;
   }
 
   by_tuple_.emplace(tuple, c.tag);
@@ -181,6 +198,10 @@ void TransportMux::emit_now(TcpConnection& c, Dir dir, std::int64_t payload,
   pkt.flow_tag = c.tag;
   pkt.seq = static_cast<std::uint64_t>(seq);
   pkt.ack = static_cast<std::uint64_t>(ackno);
+  // DCTCP data segments are ECN-capable so switches may mark instead of
+  // drop; ACKs and control packets stay non-ECT (RFC 8257). NewReno leaves
+  // everything non-ECT — a configured switch threshold then never fires.
+  if (params_.cc == CongestionControl::kDctcp && payload > 0) pkt.ecn = core::Ecn::kEct;
   if (dir == Dir::kOut) {
     sink_->host_send(pkt);
   } else {
@@ -358,11 +379,29 @@ void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
   });
 }
 
-void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno) {
+void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno,
+                                    bool ece) {
   HalfStream& h = half(c, dir);
   const std::int64_t mss = params_.mss_bytes;
+  const bool dctcp = params_.cc == CongestionControl::kDctcp;
   if (ackno > h.snd_una) {
     const std::int64_t acked = ackno - h.snd_una;
+    if (dctcp) {
+      // Per-window mark accounting (RFC 8257 §3.3): every acked byte
+      // counts; ECE attributes the bytes this ACK covers as marked.
+      h.window_acked_bytes += acked;
+      if (ece) h.window_marked_bytes += acked;
+      if (ece && !h.cwnd_reduced_this_window && !h.in_recovery) {
+        // At most one alpha-scaled reduction per window; loss-triggered
+        // recovery supersedes it (the window already halved).
+        h.cwnd = dctcp_cwnd_after_mark(h.cwnd, h.alpha_q16, mss);
+        h.ssthresh = h.cwnd;
+        h.cwnd_reduced_this_window = true;
+        ++stats_.dctcp_cwnd_reductions;
+        FBDCSIM_T_COUNTER(reductions, "transport.dctcp_reductions", Sim);
+        FBDCSIM_T_ADD(reductions, 1);
+      }
+    }
     h.snd_una = ackno;
     if (h.snd_nxt < h.snd_una) h.snd_nxt = h.snd_una;  // go-back-N rewind passed by ack
     h.backoff = 0;
@@ -381,7 +420,23 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
       }
     } else {
       h.dupacks = 0;
-      h.cwnd = cwnd_after_ack(h.cwnd, h.ssthresh, acked, mss, params_.max_cwnd.count_bytes());
+      // A DCTCP window that just reduced holds cwnd for the rest of the
+      // window (CWR-style); growth resumes next window. With zero marks
+      // this branch is bitwise NewReno.
+      if (!(dctcp && h.cwnd_reduced_this_window)) {
+        h.cwnd =
+            cwnd_after_ack(h.cwnd, h.ssthresh, acked, mss, params_.max_cwnd.count_bytes());
+      }
+    }
+    if (dctcp && ackno >= h.ce_window_end) {
+      // Observation window closed (~one RTT of data acked): fold the mark
+      // fraction into alpha and open the next window at snd_nxt.
+      h.alpha_q16 = dctcp_alpha_update(h.alpha_q16, h.window_marked_bytes,
+                                       h.window_acked_bytes, params_.dctcp_gain_shift);
+      h.window_acked_bytes = 0;
+      h.window_marked_bytes = 0;
+      h.ce_window_end = h.snd_nxt;
+      h.cwnd_reduced_this_window = false;
     }
     FBDCSIM_T_HISTOGRAM(cwnd_hist, "transport.cwnd", Sim);
     FBDCSIM_T_OBSERVE(cwnd_hist, h.cwnd / mss);
@@ -403,26 +458,45 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
 }
 
 void TransportMux::on_data_at_receiver(TcpConnection& c, Dir dir, std::int64_t seq,
-                                       std::int64_t len, bool psh) {
+                                       std::int64_t len, bool psh, bool ce) {
   HalfStream& h = half(c, dir);
   const std::int64_t before = h.rcv_nxt;
-  const bool ack_now = receiver_deliver(h, seq, len, psh);
+  bool ack_now = receiver_deliver(h, seq, len, psh);
   stats_.bytes_delivered += h.rcv_nxt - before;
+  if (ce) {
+    // CE-marked segment: remember it for the next ACK's ECE bit and ACK
+    // immediately (approximating RFC 8257's ACK-on-CE-state-change rule —
+    // it keeps the sender's mark-fraction estimate per-segment tight
+    // instead of smeared across delayed-ACK pairs).
+    h.ce_pending = true;
+    h.segs_since_ack = 0;
+    ack_now = true;
+    ++stats_.ecn_ce_segments;
+  }
+  const bool ece = h.ce_pending && ack_now;
+  if (ece) {
+    h.ce_pending = false;
+    ++stats_.ecn_echoed_acks;
+    FBDCSIM_T_COUNTER(echoed, "transport.ecn_echoed", Sim);
+    FBDCSIM_T_ADD(echoed, 1);
+  }
   if (dir == Dir::kOut) {
     // The far receiver acknowledges out-half data; its ACK re-enters the
     // rack after the connection's beyond-RSW round trip.
     if (ack_now) {
       const std::uint32_t tag = c.tag;
       const std::int64_t ackno = h.rcv_nxt;
-      sim_->schedule_after(c.reply_delay, [this, tag, ackno] {
+      sim_->schedule_after(c.reply_delay, [this, tag, ackno, ece] {
         TcpConnection* cp = resolve(tag);
         if (cp == nullptr) return;
-        emit_now(*cp, Dir::kIn, 0, core::TcpFlags{.ack = true}, 0, ackno);
+        emit_now(*cp, Dir::kIn, 0, core::TcpFlags{.ack = true, .ece = ece}, 0, ackno);
       });
     }
   } else {
     // The modelled host acknowledges in-half data with a real packet.
-    if (ack_now) emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true}, 0, h.rcv_nxt);
+    if (ack_now) {
+      emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true, .ece = ece}, 0, h.rcv_nxt);
+    }
     if (c.close_pending) try_close(c);
   }
 }
@@ -591,12 +665,13 @@ void TransportMux::on_delivered(const core::SimPacket& pkt) {
   }
   if (payload > 0) {
     const std::int64_t seq = static_cast<std::int64_t>(pkt.seq);
+    const bool ce = pkt.ecn == core::Ecn::kCe;
     if (wire == Dir::kOut) {
       // Out-half data at RSW egress: beyond-RSW loss, then the synthetic
       // far receiver.
-      if (!path_lost(c)) on_data_at_receiver(c, Dir::kOut, seq, payload, f.psh);
+      if (!path_lost(c)) on_data_at_receiver(c, Dir::kOut, seq, payload, f.psh, ce);
     } else {
-      on_data_at_receiver(c, Dir::kIn, seq, payload, f.psh);
+      on_data_at_receiver(c, Dir::kIn, seq, payload, f.psh, ce);
     }
     return;
   }
@@ -607,15 +682,16 @@ void TransportMux::on_delivered(const core::SimPacket& pkt) {
       establish(c);
       return;
     }
-    on_ack_at_sender(c, Dir::kOut, static_cast<std::int64_t>(pkt.ack));
+    on_ack_at_sender(c, Dir::kOut, static_cast<std::int64_t>(pkt.ack), f.ece);
   } else {
     // Self's ACK egressed toward the in-half's remote sender.
     if (c.state == ConnState::kSynSent || path_lost(c)) return;
     const std::uint32_t tag = c.tag;
     const std::int64_t ackno = static_cast<std::int64_t>(pkt.ack);
-    sim_->schedule_after(c.beyond + params_.host_delay, [this, tag, ackno] {
+    const bool ece = f.ece;
+    sim_->schedule_after(c.beyond + params_.host_delay, [this, tag, ackno, ece] {
       TcpConnection* cp2 = resolve(tag);
-      if (cp2 != nullptr) on_ack_at_sender(*cp2, Dir::kIn, ackno);
+      if (cp2 != nullptr) on_ack_at_sender(*cp2, Dir::kIn, ackno, ece);
     });
   }
 }

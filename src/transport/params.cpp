@@ -1,0 +1,44 @@
+#include "fbdcsim/transport/params.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fbdcsim::transport {
+
+const char* to_string(CongestionControl cc) {
+  switch (cc) {
+    case CongestionControl::kNewReno:
+      return "reno";
+    case CongestionControl::kDctcp:
+      return "dctcp";
+  }
+  return "?";
+}
+
+bool parse_cc_spec(std::string_view spec, CongestionControl& out) {
+  if (spec == "reno" || spec == "newreno") {
+    out = CongestionControl::kNewReno;
+    return true;
+  }
+  if (spec == "dctcp") {
+    out = CongestionControl::kDctcp;
+    return true;
+  }
+  return false;
+}
+
+CongestionControl cc_from_env() {
+  const char* raw = std::getenv("FBDCSIM_CC");
+  if (raw == nullptr || raw[0] == '\0') return CongestionControl::kNewReno;
+  CongestionControl cc = CongestionControl::kNewReno;
+  if (!parse_cc_spec(raw, cc)) {
+    std::fprintf(stderr,
+                 "fbdcsim: ignoring invalid FBDCSIM_CC value \"%s\" "
+                 "(expected reno|dctcp); using reno\n",
+                 raw);
+    return CongestionControl::kNewReno;
+  }
+  return cc;
+}
+
+}  // namespace fbdcsim::transport

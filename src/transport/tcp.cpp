@@ -44,6 +44,29 @@ void apply_rto(HalfStream& h, const TcpParams& p) {
   h.backoff = std::min(h.backoff + 1, p.max_backoff);
 }
 
+std::int64_t dctcp_alpha_update(std::int64_t alpha_q16, std::int64_t marked_bytes,
+                                std::int64_t acked_bytes, int gain_shift) {
+  if (acked_bytes <= 0) return std::clamp<std::int64_t>(alpha_q16, 0, kDctcpAlphaUnit);
+  const std::int64_t fraction_q16 = std::clamp<std::int64_t>(
+      std::clamp<std::int64_t>(marked_bytes, 0, acked_bytes) * kDctcpAlphaUnit /
+          acked_bytes,
+      0, kDctcpAlphaUnit);
+  const std::int64_t alpha = std::clamp<std::int64_t>(alpha_q16, 0, kDctcpAlphaUnit);
+  // Decay at least one Q16 unit (as Linux's min_not_zero does) so alpha
+  // reaches exactly 0 under sustained zero marking instead of stalling
+  // below 2^gain_shift on the integer floor.
+  std::int64_t decay = alpha >> gain_shift;
+  if (decay == 0 && alpha > 0) decay = 1;
+  return std::clamp<std::int64_t>(alpha - decay + (fraction_q16 >> gain_shift), 0,
+                                  kDctcpAlphaUnit);
+}
+
+std::int64_t dctcp_cwnd_after_mark(std::int64_t cwnd, std::int64_t alpha_q16,
+                                   std::int64_t mss) {
+  const std::int64_t alpha = std::clamp<std::int64_t>(alpha_q16, 0, kDctcpAlphaUnit);
+  return std::max(mss, cwnd - cwnd * alpha / (2 * kDctcpAlphaUnit));
+}
+
 bool receiver_deliver(HalfStream& h, std::int64_t seq, std::int64_t len, bool psh) {
   if (len <= 0) return false;
   const std::int64_t end = seq + len;

@@ -58,6 +58,29 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
   switching::SwitchConfig sw = config_.rsw;
   sw.num_ports = num_host_ports_ + static_cast<std::size_t>(config_.uplink_ports);
   const double shrink = switching::apply_fault_profile(sw, config_.faults, config_.seed);
+  // ECN marking composes with buffer-shrink faults: an explicit threshold
+  // scales by the same factor as the buffer (keeping K meaningful inside
+  // the shrunken buffer), and the DCTCP auto-default derives from the
+  // post-shrink size. Scripted and NewReno runs emit no ECT packets, so a
+  // configured threshold never fires for them.
+  if (shrink < 1.0 && sw.ecn_threshold.count_bytes() > 0) {
+    sw.ecn_threshold = core::DataSize::bytes(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(sw.ecn_threshold.count_bytes()) * shrink)));
+  }
+  if (config_.transport == Transport::kTcp &&
+      config_.tcp.cc == transport::CongestionControl::kDctcp &&
+      sw.ecn_threshold.count_bytes() <= 0) {
+    // Default K: 20 full-size frames (the DCTCP paper's shallow-RTT
+    // guideline, K ~ C*RTT/7 — tens of kilobytes at 10 Gbps and this
+    // fabric's sub-100-us RTTs), capped at a quarter of the (possibly
+    // shrunken) shared buffer so marking always engages well before DT
+    // admission starts dropping. The 12-MB Trident-era buffer is ~100x the
+    // bandwidth-delay product, so a buffer-proportional K would never fire.
+    constexpr std::int64_t kDefaultEcnThresholdBytes = 20 * 1500;
+    sw.ecn_threshold = core::DataSize::bytes(std::max<std::int64_t>(
+        1, std::min(kDefaultEcnThresholdBytes, sw.buffer_total.count_bytes() / 4)));
+  }
   if (shrink < 1.0) {
     FBDCSIM_T_TRACEPOINT(tracepoints_.get(), 0, FaultEpoch, ~std::uint64_t{0},
                          telemetry::kFaultEpochBufferShrunk,
@@ -258,6 +281,7 @@ RackSimResult RackSimulation::run() {
     agg.enqueued_packets += c.enqueued_packets;
     agg.dropped_packets += c.dropped_packets;
     agg.dropped_bytes += c.dropped_bytes;
+    agg.ecn_marked_packets += c.ecn_marked_packets;
   }
   result.events = sim_.executed_events();
   result.capture_start = capture_start_;

@@ -1,8 +1,8 @@
 // Fuzz/edge tests for every environment knob the bench harness and runtime
 // read: FBDCSIM_BENCH_SECONDS, FBDCSIM_THREADS, FBDCSIM_BENCH_OUT,
-// FBDCSIM_FAULTS, and FBDCSIM_OBS. The contract under test: malformed
-// values — empty, whitespace, overflow, negative, trailing garbage —
-// always fall back to the documented default and never crash.
+// FBDCSIM_FAULTS, FBDCSIM_OBS, and FBDCSIM_CC. The contract under test:
+// malformed values — empty, whitespace, overflow, negative, trailing
+// garbage — always fall back to the documented default and never crash.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -14,6 +14,7 @@
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/thread_pool.h"
 #include "fbdcsim/telemetry/obs.h"
+#include "fbdcsim/transport/params.h"
 
 namespace fbdcsim::bench {
 namespace {
@@ -251,6 +252,64 @@ TEST(ObsEnvFuzzTest, BenchEnvResolvesObsOncePerEnv) {
   EXPECT_EQ(&env.obs(), &first);  // cached, one instance per env
   BenchEnv fresh;
   EXPECT_FALSE(fresh.obs().enabled());
+}
+
+TEST(CcEnvFuzzTest, ValidSpecsParse) {
+  transport::CongestionControl cc = transport::CongestionControl::kDctcp;
+  EXPECT_TRUE(transport::parse_cc_spec("reno", cc));
+  EXPECT_EQ(cc, transport::CongestionControl::kNewReno);
+  EXPECT_TRUE(transport::parse_cc_spec("newreno", cc));
+  EXPECT_EQ(cc, transport::CongestionControl::kNewReno);
+  EXPECT_TRUE(transport::parse_cc_spec("dctcp", cc));
+  EXPECT_EQ(cc, transport::CongestionControl::kDctcp);
+}
+
+TEST(CcEnvFuzzTest, MalformedSpecsAreRejectedAndLeaveTheOutputUntouched) {
+  const std::vector<const char*> bad{
+      " ",     "Reno",  "RENO",  "DCTCP", "Dctcp", "dctcp ",  " dctcp",
+      "cubic", "bbr",   "reno,dctcp",     "dctcp:64", "½",    "\n",
+      "reno\n",         "d c t c p",      "0",        "1"};
+  for (const char* spec : bad) {
+    transport::CongestionControl cc = transport::CongestionControl::kDctcp;
+    EXPECT_FALSE(transport::parse_cc_spec(spec, cc)) << "'" << spec << "'";
+    EXPECT_EQ(cc, transport::CongestionControl::kDctcp)
+        << "'" << spec << "' must leave the output untouched on failure";
+  }
+}
+
+TEST(CcEnvFuzzTest, EnvResolutionFallsBackToRenoAndNeverCrashes) {
+  EnvVarGuard guard{"FBDCSIM_CC"};
+  EXPECT_EQ(transport::cc_from_env(), transport::CongestionControl::kNewReno);  // unset
+  for (const char* bad : {"", " ", "garbage", "DCTCP", "dctcp ", "reno;dctcp", "½", "\n"}) {
+    guard.set(bad);
+    EXPECT_EQ(transport::cc_from_env(), transport::CongestionControl::kNewReno)
+        << "'" << bad << "'";
+  }
+  guard.set("dctcp");
+  EXPECT_EQ(transport::cc_from_env(), transport::CongestionControl::kDctcp);
+  guard.set("newreno");
+  EXPECT_EQ(transport::cc_from_env(), transport::CongestionControl::kNewReno);
+}
+
+TEST(CcEnvFuzzTest, BenchEnvResolvesCcOncePerEnv) {
+  EnvVarGuard guard{"FBDCSIM_CC"};
+  guard.set("dctcp");
+  BenchEnv env;
+  EXPECT_EQ(env.cc(), transport::CongestionControl::kDctcp);
+  guard.set("reno");  // must not affect the already-resolved env
+  EXPECT_EQ(env.cc(), transport::CongestionControl::kDctcp);
+  BenchEnv fresh;
+  EXPECT_EQ(fresh.cc(), transport::CongestionControl::kNewReno);
+}
+
+TEST(CcEnvFuzzTest, ToStringRoundTripsThroughTheParser) {
+  for (const auto cc :
+       {transport::CongestionControl::kNewReno, transport::CongestionControl::kDctcp}) {
+    transport::CongestionControl parsed{};
+    ASSERT_TRUE(transport::parse_cc_spec(transport::to_string(cc), parsed))
+        << transport::to_string(cc);
+    EXPECT_EQ(parsed, cc);
+  }
 }
 
 TEST(BenchReportObsTest, TimeseriesSectionAppearsOnlyWhenAdded) {

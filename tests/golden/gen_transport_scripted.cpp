@@ -13,7 +13,18 @@
 //
 //   cmake --build build --target gen_transport_scripted
 //   ./build/tests/gen_transport_scripted > tests/golden/transport_scripted.golden.txt
+//
+// With `--tcp` the same presets run with RackSimConfig::transport = kTcp
+// (default TcpParams, i.e. cc = kNewReno), producing the golden for the
+// flow-level default path:
+//
+//   ./build/tests/gen_transport_scripted --tcp > tests/golden/transport_newreno.golden.txt
+//
+// That file was generated on the tree BEFORE the DCTCP/ECN + topology-RTT
+// variant landed; DctcpGolden.NewRenoDefaultMatchesPrePrOutput re-runs the
+// presets and compares, proving the kNewReno default stayed byte-identical.
 #include <cstdio>
+#include <cstring>
 
 #include "../support/rack_fingerprint.h"
 #include "fbdcsim/faults/fault_plan.h"
@@ -21,7 +32,8 @@
 
 using namespace fbdcsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool tcp = argc > 1 && std::strcmp(argv[1], "--tcp") == 0;
   const core::HostRole kRoles[] = {core::HostRole::kWeb, core::HostRole::kCacheFollower,
                                    core::HostRole::kCacheLeader, core::HostRole::kHadoop};
   const topology::Fleet fleet = workload::build_rack_experiment_fleet();
@@ -32,6 +44,7 @@ int main() {
           workload::default_rack_config(fleet, role, core::Duration::millis(300));
       cfg.warmup = core::Duration::millis(100);
       cfg.sample_buffer = true;
+      if (tcp) cfg.transport = workload::Transport::kTcp;
       if (faulted) cfg.faults = &heavy;
       workload::RackSimulation rack{fleet, cfg};
       const workload::RackSimResult result = rack.run();

@@ -32,11 +32,15 @@ inline std::uint64_t fingerprint(const workload::RackSimResult& r) {
     h = mix64(h, static_cast<std::uint64_t>(p.tuple.protocol));
     h = mix64(h, static_cast<std::uint64_t>(p.frame_bytes));
     h = mix64(h, static_cast<std::uint64_t>(p.payload_bytes));
+    // ece (bit 5) is zero on every scripted/NewReno path, so including it
+    // leaves the pre-DCTCP goldens untouched while letting the DCTCP
+    // differential catch echo-path divergence.
     h = mix64(h, static_cast<std::uint64_t>(p.flags.syn) |
                      (static_cast<std::uint64_t>(p.flags.ack) << 1) |
                      (static_cast<std::uint64_t>(p.flags.fin) << 2) |
                      (static_cast<std::uint64_t>(p.flags.rst) << 3) |
-                     (static_cast<std::uint64_t>(p.flags.psh) << 4));
+                     (static_cast<std::uint64_t>(p.flags.psh) << 4) |
+                     (static_cast<std::uint64_t>(p.flags.ece) << 5));
   }
   for (const auto& s : r.buffer_seconds) {
     h = mix64(h, static_cast<std::uint64_t>(s.second));
