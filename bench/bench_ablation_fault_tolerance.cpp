@@ -16,6 +16,7 @@
 // each profile's row is bit-identical for any FBDCSIM_THREADS.
 #include <array>
 #include <cstdio>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/monitoring/fbflow.h"
 #include "fbdcsim/runtime/sharded_fleet.h"
+#include "fbdcsim/transport/mux.h"
 #include "fbdcsim/workload/fleet_flows.h"
 #include "fbdcsim/workload/rack_sim.h"
 
@@ -179,6 +181,45 @@ int main() {
                 static_cast<long long>(r.tag_failures_injected),
                 static_cast<long long>(r.partial_rows),
                 static_cast<long long>(r.capture_dropped));
+  }
+
+  // --- Transport repair kinds per profile ---------------------------------
+  // The flow-level TCP engine splits its retransmissions by what drove the
+  // repair: dupack evidence (fast recovery — NewReno's hole-per-RTT loop or
+  // the SACK scoreboard, per FBDCSIM_RECOVERY) versus the go-back-N stream
+  // after an RTO. Scripted captures cannot express this; the split is the
+  // fault benches' view of how much loss each profile turns into timeouts.
+  const transport::LossRecovery recovery = env.recovery();
+  std::printf("\nTransport retransmissions by repair kind (Hadoop, recovery=%s):\n",
+              transport::to_string(recovery));
+  std::printf("%-7s %9s %8s %8s %8s %9s %6s %9s\n", "profile", "segs", "rtx", "rtx_dup",
+              "rtx_rto", "fast_rtx", "rto", "sack_rtx");
+  for (const auto& [name, plan] :
+       {std::pair<const char*, const faults::FaultPlan*>{"off", nullptr},
+        {"light", &light},
+        {"heavy", &heavy}}) {
+    workload::RackSimConfig rc = workload::default_rack_config(
+        env.fleet(), core::HostRole::kHadoop,
+        core::Duration::seconds(bench::BenchEnv::effective_seconds(1)));
+    rc.transport = workload::Transport::kTcp;
+    rc.tcp.cc = env.cc();
+    rc.tcp.recovery = recovery;
+    rc.faults = plan;
+    workload::RackSimulation rack{env.fleet(), rc};
+    (void)rack.run();
+    transport::TransportMux::Stats s;
+    if (rack.transport_mux() != nullptr) s = rack.transport_mux()->stats();
+    std::printf("%-7s %9lld %8lld %8lld %8lld %9lld %6lld %9lld\n", name,
+                static_cast<long long>(s.segments_sent),
+                static_cast<long long>(s.retransmit_segments),
+                static_cast<long long>(s.rtx_dupack_segments),
+                static_cast<long long>(s.rtx_rto_segments),
+                static_cast<long long>(s.fast_retransmits),
+                static_cast<long long>(s.rto_fired),
+                static_cast<long long>(s.sack_retransmits));
+    report.add_extra(std::string{"rtx_dupack_"} + name, s.rtx_dupack_segments);
+    report.add_extra(std::string{"rtx_rto_"} + name, s.rtx_rto_segments);
+    report.add_extra(std::string{"rto_"} + name, s.rto_fired);
   }
 
   std::printf(

@@ -46,9 +46,11 @@ RoleTrace BenchEnv::capture(core::HostRole role, std::int64_t seconds, const Twe
   // FBDCSIM_OBS opt-in: applied before the tweak so benches can refine it.
   // Unset (or off) leaves cfg untouched — captures stay byte-identical.
   if (const telemetry::ObsConfig& env_obs = obs(); env_obs.enabled()) cfg.obs = env_obs;
-  // FBDCSIM_CC: inert under the scripted default; takes effect when the
-  // bench's tweak opts into Transport::kTcp (tweaks may still override).
+  // FBDCSIM_CC / FBDCSIM_RECOVERY: inert under the scripted default; they
+  // take effect when the bench's tweak opts into Transport::kTcp (tweaks
+  // may still override).
   cfg.tcp.cc = cc();
+  cfg.tcp.recovery = recovery();
   if (tweak) tweak(cfg);
   workload::RackSimulation sim{fleet_, cfg};
   RoleTrace trace;
@@ -89,6 +91,14 @@ transport::CongestionControl BenchEnv::cc() {
     cc_ = transport::cc_from_env();
   }
   return cc_;
+}
+
+transport::LossRecovery BenchEnv::recovery() {
+  if (!recovery_resolved_) {
+    recovery_resolved_ = true;
+    recovery_ = transport::recovery_from_env();
+  }
+  return recovery_;
 }
 
 std::vector<RoleTrace> BenchEnv::capture_all(std::vector<CaptureSpec> specs) {

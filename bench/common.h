@@ -169,6 +169,11 @@ class BenchEnv {
   /// inert unless the bench (or its tweak) also opts into Transport::kTcp.
   [[nodiscard]] transport::CongestionControl cc();
 
+  /// The loss-recovery law selected by FBDCSIM_RECOVERY, resolved once per
+  /// env (kNewReno when unset, empty, or malformed). Applied like cc():
+  /// before the tweak, inert without Transport::kTcp.
+  [[nodiscard]] transport::LossRecovery recovery();
+
   /// Effective capture length for a nominal request. Malformed or
   /// non-positive FBDCSIM_BENCH_SECONDS values are diagnosed on stderr and
   /// ignored.
@@ -184,6 +189,8 @@ class BenchEnv {
   bool obs_resolved_{false};
   transport::CongestionControl cc_{transport::CongestionControl::kNewReno};
   bool cc_resolved_{false};
+  transport::LossRecovery recovery_{transport::LossRecovery::kNewReno};
+  bool recovery_resolved_{false};
 };
 
 /// Prints a CDF as (quantile, value) rows at the paper's usual quantiles.

@@ -72,6 +72,10 @@ inline constexpr std::int64_t kMaxTcpPayloadBytes =
   const std::int64_t raw = kEthernetHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes + payload;
   return raw < kMinFrameBytes ? kMinFrameBytes : raw;
 }
+
+/// TCP option bytes of a SACK option carrying one block: kind + length +
+/// one (left, right) edge pair, NOP-padded to a 32-bit boundary (RFC 2018).
+inline constexpr std::int64_t kTcpSackOptionBytes = 12;
 }  // namespace wire
 
 /// A captured packet header, as produced by the port-mirror tap or sampled by
@@ -119,6 +123,14 @@ struct SimPacket {
   std::uint64_t seq{0};  // first payload byte index of this segment
   std::uint64_t ack{0};  // cumulative ack (meaningful when header.flags.ack)
   Ecn ecn{Ecn::kNotEct};
+  // One SACK block [sack_lo, sack_hi) riding on an ACK (RFC 2018 first-block
+  // rule: the range containing the most recently received out-of-order
+  // segment). Zero — no block — for scripted traffic, all data segments,
+  // and every ACK of a LossRecovery::kNewReno connection. Like seq/ack/ecn
+  // these never reach the captured PacketHeader, though a block-carrying
+  // ACK's frame_bytes does grow by wire::kTcpSackOptionBytes.
+  std::int64_t sack_lo{0};
+  std::int64_t sack_hi{0};
 };
 
 }  // namespace fbdcsim::core

@@ -74,6 +74,16 @@ class TransportMux final : public DemandSink {
     std::int64_t bytes_demanded{0};
     std::int64_t bytes_delivered{0};  // receiver-side in-order advance
     std::int64_t bytes_retransmitted{0};
+    // Retransmissions split by repair kind (all recovery modes): a segment
+    // resent while its half-stream is in fast recovery was dupack-driven;
+    // anything else is the go-back-N stream after a timeout.
+    std::int64_t rtx_dupack_segments{0};
+    std::int64_t rtx_rto_segments{0};
+    // SACK (recovery == kSack only; zero otherwise):
+    std::int64_t sack_blocks_recorded{0};    // scoreboard merges that added bytes
+    std::int64_t sack_bytes{0};              // bytes newly marked sacked
+    std::int64_t sack_retransmits{0};        // pipe-gated hole retransmissions
+    std::int64_t sack_rescue_retransmits{0}; // rule-4 tail rescues
     // DCTCP (cc == kDctcp only; zero otherwise):
     std::int64_t ecn_ce_segments{0};       // CE-marked data seen at receivers
     std::int64_t ecn_echoed_acks{0};       // ACKs sent with ECE set
@@ -168,12 +178,19 @@ class TransportMux final : public DemandSink {
   void establish(TcpConnection& c);
   void on_ctrl(std::uint32_t tag, Ctrl ctrl);
   void on_demand(std::uint32_t tag, Dir dir, std::int64_t bytes, core::Duration pace_gap);
-  void on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno, bool ece);
+  void on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno, bool ece,
+                        std::int64_t sack_lo = 0, std::int64_t sack_hi = 0);
   void on_data_at_receiver(TcpConnection& c, Dir dir, std::int64_t seq, std::int64_t len,
                            bool psh, bool ce);
   void on_rto_event(std::uint32_t tag, Dir dir);
   void on_hs_event(std::uint32_t tag);
   void pump(TcpConnection& c, Dir dir);
+  /// The kSack in-recovery transmission loop: sends whatever sack_next_seg
+  /// selects while sack_pipe stays below cwnd (RFC 6675 §5 step C).
+  void pump_sack_recovery(TcpConnection& c, Dir dir);
+  /// Sends one sack_next_seg selection and applies its bookkeeping
+  /// (high_rtx / rescue flag / snd_nxt advance plus the sack counters).
+  void send_sack_selected(TcpConnection& c, Dir dir, const SackNextSeg& ns);
   void try_close(TcpConnection& c);
   void arm_rto(TcpConnection& c, Dir dir);
   void arm_hs(TcpConnection& c);
@@ -181,9 +198,12 @@ class TransportMux final : public DemandSink {
   /// Schedules the paced emission of one data segment.
   void send_segment(TcpConnection& c, Dir dir, std::int64_t seq, std::int64_t len);
   /// Emits a packet on the wire right now. Data/ACK/control alike; `dir`
-  /// picks host_send (kOut) vs host_receive (kIn).
+  /// picks host_send (kOut) vs host_receive (kIn). A nonempty SACK block
+  /// (sack_hi > sack_lo) rides on the packet and grows its frame by the
+  /// option bytes.
   void emit_now(TcpConnection& c, Dir dir, std::int64_t payload, core::TcpFlags flags,
-                std::int64_t seq, std::int64_t ackno);
+                std::int64_t seq, std::int64_t ackno, std::int64_t sack_lo = 0,
+                std::int64_t sack_hi = 0);
 
   sim::Simulator* sim_;
   const topology::Fleet* fleet_;

@@ -31,6 +31,26 @@ enum class CongestionControl : std::uint8_t {
 /// malformed -> kNewReno plus one stderr diagnostic. Never throws.
 [[nodiscard]] CongestionControl cc_from_env();
 
+/// Loss-recovery law selection. kNewReno is the default and is
+/// byte-identical to every pre-SACK release; kSack replaces the
+/// one-hole-per-RTT partial-ACK loop with a selective-acknowledgment
+/// scoreboard and RFC-6675-style pipe accounting (transport/tcp.h).
+enum class LossRecovery : std::uint8_t {
+  kNewReno = 0,
+  kSack = 1,
+};
+
+[[nodiscard]] const char* to_string(LossRecovery recovery);
+
+/// Parses a FBDCSIM_RECOVERY-style spec ("newreno" | "sack",
+/// case-sensitive). Returns true on success; on failure leaves `out`
+/// untouched and returns false.
+[[nodiscard]] bool parse_recovery_spec(std::string_view spec, LossRecovery& out);
+
+/// Resolves the FBDCSIM_RECOVERY environment variable: unset/empty ->
+/// kNewReno; malformed -> kNewReno plus one stderr diagnostic. Never throws.
+[[nodiscard]] LossRecovery recovery_from_env();
+
 /// How a connection's fixed beyond-the-RSW propagation delay is derived.
 enum class RttMode : std::uint8_t {
   /// One constant per locality class (cluster_one_way etc.) — the
@@ -82,6 +102,11 @@ struct TcpParams {
   /// Initial alpha in Q16 fixed point (kDctcpAlphaUnit = 1.0). Starting at
   /// 1.0 (Linux behavior) makes the first marked window halve like Reno.
   std::int64_t dctcp_initial_alpha = 1 << 16;
+
+  /// Loss-recovery law. kNewReno (default) keeps the classic partial-ACK
+  /// hole-by-hole retransmission loop; kSack activates the selective-ACK
+  /// scoreboard. Composes freely with `cc` (Reno+SACK, DCTCP+SACK).
+  LossRecovery recovery = LossRecovery::kNewReno;
 
   /// Beyond-the-RSW delay derivation (see RttMode). kLocalityClass keeps
   /// the three constants above authoritative; kTopology derives the delay

@@ -59,6 +59,18 @@ struct HalfStream {
   std::int64_t window_marked_bytes{0};  // subset acked with ECE set
   bool cwnd_reduced_this_window{false}; // at most one reduction per window
 
+  // -- SACK sender scoreboard (recovery == kSack only; inert otherwise).
+  // Sorted, disjoint, non-adjacent ranges of bytes the peer reported
+  // received above snd_una. Bounded: a block that cannot merge into a full
+  // list is dropped (never an existing range — the sacked set only shrinks
+  // when snd_una advances past it). --
+  static constexpr int kMaxSackRanges = 16;
+  std::int64_t sack_lo[kMaxSackRanges] = {};
+  std::int64_t sack_hi[kMaxSackRanges] = {};
+  int sack_count{0};
+  std::int64_t high_rtx{0};   // this episode's holes below this were resent
+  bool rescue_done{false};    // at most one rescue retransmit per episode
+
   // -- receiver (the opposite endpoint of this direction) --
   std::int64_t rcv_nxt{0};
   bool ce_pending{false};  // CE seen since the last ACK; echo ECE next ACK
@@ -151,5 +163,85 @@ inline constexpr std::int64_t kDctcpAlphaUnit = 1 << 16;
 /// more). Returns true when the receiver must ACK immediately (gap, dup,
 /// merge, or PSH) as opposed to the every-2nd-segment delayed-ACK policy.
 bool receiver_deliver(HalfStream& h, std::int64_t seq, std::int64_t len, bool psh);
+
+// ---- pure SACK laws (RFC 2018 receiver, RFC 6675 sender scoreboard) ----
+//
+// All state lives in the same HalfStream the Reno laws use, so the property
+// suite exercises every law without a simulator, and runs stay bit-identical
+// across engines and thread counts (integer arithmetic only).
+
+/// One SACK block [lo, hi), byte-stream offsets. lo == hi means "no block".
+struct SackBlock {
+  std::int64_t lo{0};
+  std::int64_t hi{0};
+};
+
+/// The block a delayed-ACK receiver attaches to the ACK it sends after
+/// delivery of [seq, seq+len) (RFC 2018 first-block rule): the maximal
+/// contiguous received range containing that segment when it landed out of
+/// order — merging the bounded out-of-order set — otherwise the lowest
+/// merged range still above rcv_nxt. {0, 0} when nothing is buffered.
+[[nodiscard]] SackBlock receiver_sack_block(const HalfStream& h, std::int64_t seq,
+                                            std::int64_t end);
+
+/// Records one reported block on the sender scoreboard: clamps it to
+/// [snd_una, max_sent), merges overlapping/adjacent ranges, keeps the list
+/// sorted and disjoint. When the bounded list is full and the block cannot
+/// merge, the NEW block is dropped (sacked ranges never silently un-sack).
+/// Returns the number of newly-sacked bytes (0 for stale/duplicate blocks).
+std::int64_t sack_record(HalfStream& h, std::int64_t lo, std::int64_t hi);
+
+/// Crops the scoreboard at snd_una — cumulative-ACK advance is the only
+/// transition that removes sacked bytes.
+void sack_advance(HalfStream& h);
+
+/// Bytes currently marked sacked (above snd_una).
+[[nodiscard]] std::int64_t sack_sacked_bytes(const HalfStream& h);
+
+/// Forward-most sacked byte (FACK); snd_una with an empty scoreboard.
+[[nodiscard]] std::int64_t sack_fack(const HalfStream& h);
+
+/// Bytes assumed lost: the unsacked bytes of [snd_una, fack).
+[[nodiscard]] std::int64_t sack_lost_bytes(const HalfStream& h);
+
+/// Estimate of retransmissions still in the network: the unsacked bytes of
+/// [snd_una, min(high_rtx, fack)).
+[[nodiscard]] std::int64_t sack_rtx_out_bytes(const HalfStream& h);
+
+/// RFC-6675-style pipe: inflight − sacked − lost + rtx_out. The property
+/// suite pins the identity and 0 <= pipe <= inflight on reachable states.
+[[nodiscard]] std::int64_t sack_pipe(const HalfStream& h);
+
+/// Whether a duplicate ACK should trigger SACK loss recovery. Beyond the
+/// classic dupack count, the scoreboard enables two earlier detections a
+/// blind counter cannot: RFC 6675 IsLost — at least dupack_threshold
+/// segments sacked above snd_una prove the hole is a loss, not
+/// reordering — and RFC 5827 early retransmit — windows of fewer than 4
+/// segments can never produce 3 dupacks, so the threshold shrinks to
+/// (outstanding − 1) when something is sacked. Both turn would-be RTO
+/// stalls into dupack-driven repair.
+[[nodiscard]] bool sack_should_enter_recovery(const HalfStream& h, const TcpParams& p);
+
+/// Enters SACK loss recovery: ssthresh = cwnd = max(inflight/2, 2*mss),
+/// recovery point at snd_nxt, per-episode retransmission state reset. No
+/// NewReno window inflation and no rtx_next — sack_pipe gates transmission.
+void enter_sack_recovery(HalfStream& h, const TcpParams& p);
+
+/// What the SACK recovery pump should transmit next (RFC 6675 NextSeg):
+/// rule 1 — the lowest unsacked hole at/above high_rtx below fack; rule 2 —
+/// new data; rule 4 — once per episode, a rescue retransmit of the last
+/// unsacked chunk below the recovery point (tail loss inside an episode
+/// otherwise waits for the RTO). seq < 0 means nothing sendable.
+struct SackNextSeg {
+  std::int64_t seq{-1};
+  std::int64_t len{0};
+  bool is_rtx{false};
+  bool rescue{false};
+};
+[[nodiscard]] SackNextSeg sack_next_seg(const HalfStream& h, std::int64_t mss);
+
+/// The kSack retransmission timeout: clears the scoreboard and per-episode
+/// state, then falls back to plain go-back-N (apply_rto).
+void apply_rto_sack(HalfStream& h, const TcpParams& p);
 
 }  // namespace fbdcsim::transport

@@ -186,18 +186,24 @@ bool TransportMux::path_lost(TcpConnection& c) {
 }
 
 void TransportMux::emit_now(TcpConnection& c, Dir dir, std::int64_t payload,
-                            core::TcpFlags flags, std::int64_t seq, std::int64_t ackno) {
+                            core::TcpFlags flags, std::int64_t seq, std::int64_t ackno,
+                            std::int64_t sack_lo, std::int64_t sack_hi) {
   core::SimPacket pkt;
   pkt.header.timestamp = sim_->now();
   pkt.header.tuple = dir == Dir::kOut ? c.tuple : c.tuple.reversed();
   pkt.header.payload_bytes = payload;
-  pkt.header.frame_bytes = core::wire::tcp_frame_bytes(payload);
+  // A SACK block rides as a TCP option, so the carrying ACK's frame grows.
+  // Only kSack receivers with buffered out-of-order data ever attach one.
+  pkt.header.frame_bytes = core::wire::tcp_frame_bytes(payload) +
+                           (sack_hi > sack_lo ? core::wire::kTcpSackOptionBytes : 0);
   pkt.header.flags = flags;
   pkt.src = dir == Dir::kOut ? c.self : c.peer;
   pkt.dst = dir == Dir::kOut ? c.peer : c.self;
   pkt.flow_tag = c.tag;
   pkt.seq = static_cast<std::uint64_t>(seq);
   pkt.ack = static_cast<std::uint64_t>(ackno);
+  pkt.sack_lo = sack_lo;
+  pkt.sack_hi = sack_hi;
   // DCTCP data segments are ECN-capable so switches may mark instead of
   // drop; ACKs and control packets stay non-ECT (RFC 8257). NewReno leaves
   // everything non-ECT — a configured switch threshold then never fires.
@@ -321,6 +327,10 @@ void TransportMux::on_demand(std::uint32_t tag, Dir dir, std::int64_t bytes,
 void TransportMux::pump(TcpConnection& c, Dir dir) {
   if (c.state != ConnState::kEstablished && c.state != ConnState::kFinWait) return;
   HalfStream& h = half(c, dir);
+  if (params_.recovery == LossRecovery::kSack && h.in_recovery) {
+    pump_sack_recovery(c, dir);
+    return;
+  }
   const std::int64_t mss = params_.mss_bytes;
   while (true) {
     if (h.rtx_next >= 0) {
@@ -344,6 +354,40 @@ void TransportMux::pump(TcpConnection& c, Dir dir) {
   }
 }
 
+void TransportMux::send_sack_selected(TcpConnection& c, Dir dir, const SackNextSeg& ns) {
+  HalfStream& h = half(c, dir);
+  send_segment(c, dir, ns.seq, ns.len);
+  if (ns.is_rtx) {
+    if (ns.rescue) {
+      // Rule-4 rescue: does not move high_rtx (later blocks may expose
+      // real holes above it) and fires at most once per episode.
+      h.rescue_done = true;
+      ++stats_.sack_rescue_retransmits;
+      FBDCSIM_T_COUNTER(rescue, "transport.sack_rescue", Sim);
+      FBDCSIM_T_ADD(rescue, 1);
+    } else {
+      h.high_rtx = std::max(h.high_rtx, ns.seq + ns.len);
+    }
+    ++stats_.sack_retransmits;
+    FBDCSIM_T_COUNTER(sack_rtx, "transport.sack_retransmits", Sim);
+    FBDCSIM_T_ADD(sack_rtx, 1);
+  } else {
+    h.snd_nxt += ns.len;
+    if (h.snd_nxt > h.max_sent) h.max_sent = h.snd_nxt;
+  }
+  arm_rto(c, dir);
+}
+
+void TransportMux::pump_sack_recovery(TcpConnection& c, Dir dir) {
+  HalfStream& h = half(c, dir);
+  const std::int64_t mss = params_.mss_bytes;
+  while (sack_pipe(h) < h.cwnd) {
+    const SackNextSeg ns = sack_next_seg(h, mss);
+    if (ns.seq < 0 || ns.len <= 0) break;
+    send_sack_selected(c, dir, ns);
+  }
+}
+
 void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
                                 std::int64_t len) {
   HalfStream& h = half(c, dir);
@@ -361,6 +405,13 @@ void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
     h.retransmitted_bytes += len;
     stats_.bytes_retransmitted += len;
     ++stats_.retransmit_segments;
+    // Repair-kind split: inside fast recovery the resend was dupack-driven;
+    // otherwise it belongs to a go-back-N stream after a timeout.
+    if (h.in_recovery) {
+      ++stats_.rtx_dupack_segments;
+    } else {
+      ++stats_.rtx_rto_segments;
+    }
     FBDCSIM_T_COUNTER(rtx, "transport.retransmits", Sim);
     FBDCSIM_T_ADD(rtx, 1);
   }
@@ -380,10 +431,23 @@ void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
 }
 
 void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackno,
-                                    bool ece) {
+                                    bool ece, std::int64_t sack_lo,
+                                    std::int64_t sack_hi) {
   HalfStream& h = half(c, dir);
   const std::int64_t mss = params_.mss_bytes;
   const bool dctcp = params_.cc == CongestionControl::kDctcp;
+  const bool sack = params_.recovery == LossRecovery::kSack;
+  if (sack && sack_hi > sack_lo) {
+    const std::int64_t newly = sack_record(h, sack_lo, sack_hi);
+    if (newly > 0) {
+      ++stats_.sack_blocks_recorded;
+      stats_.sack_bytes += newly;
+      FBDCSIM_T_COUNTER(blocks, "transport.sack_blocks", Sim);
+      FBDCSIM_T_ADD(blocks, 1);
+      FBDCSIM_T_COUNTER(sacked, "transport.sack_bytes", Sim);
+      FBDCSIM_T_ADD(sacked, newly);
+    }
+  }
   if (ackno > h.snd_una) {
     const std::int64_t acked = ackno - h.snd_una;
     if (dctcp) {
@@ -404,6 +468,7 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
     }
     h.snd_una = ackno;
     if (h.snd_nxt < h.snd_una) h.snd_nxt = h.snd_una;  // go-back-N rewind passed by ack
+    if (sack) sack_advance(h);
     h.backoff = 0;
     h.rto_deadline = sim_->now() + rto_for(c, h);
     if (h.in_recovery) {
@@ -414,10 +479,12 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
         h.cwnd = std::max(mss, std::min(h.ssthresh, params_.max_cwnd.count_bytes()));
         FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), FastRtxExit, c.tag,
                              h.cwnd, 0);
-      } else {
+      } else if (!sack) {
         // NewReno partial ACK: retransmit the next hole, stay in recovery.
         h.rtx_next = ackno;
       }
+      // kSack partial ACK: nothing to mark — the scoreboard already knows
+      // every hole and the recovery pump below retransmits per sack_pipe.
     } else {
       h.dupacks = 0;
       // A DCTCP window that just reduced holds cwnd for the rest of the
@@ -443,14 +510,27 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
   } else if (ackno == h.snd_una && h.inflight() > 0) {
     ++h.dupacks;
     if (h.in_recovery) {
-      h.cwnd += mss;  // window inflation per additional dupack
-    } else if (h.dupacks >= params_.dupack_threshold) {
-      enter_fast_recovery(h, params_);
+      // kSack holds cwnd at ssthresh and lets sack_pipe absorb the dupack
+      // (the block recorded above already shrank it); NewReno inflates.
+      if (!sack) h.cwnd += mss;
+    } else if (sack ? sack_should_enter_recovery(h, params_)
+                    : h.dupacks >= params_.dupack_threshold) {
+      if (sack) {
+        enter_sack_recovery(h, params_);
+      } else {
+        enter_fast_recovery(h, params_);
+      }
       ++stats_.fast_retransmits;
       FBDCSIM_T_COUNTER(fast, "transport.fast_retransmits", Sim);
       FBDCSIM_T_ADD(fast, 1);
       FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), FastRtxEnter, c.tag,
                            h.ssthresh, h.inflight());
+      if (sack) {
+        // The fast retransmit itself is unconditional — sack_pipe gates
+        // only the rest of the episode (mirrors NewReno's rtx_next mark).
+        const SackNextSeg ns = sack_next_seg(h, mss);
+        if (ns.seq >= 0 && ns.len > 0 && ns.is_rtx) send_sack_selected(c, dir, ns);
+      }
     }
   }
   pump(c, dir);
@@ -480,22 +560,33 @@ void TransportMux::on_data_at_receiver(TcpConnection& c, Dir dir, std::int64_t s
     FBDCSIM_T_COUNTER(echoed, "transport.ecn_echoed", Sim);
     FBDCSIM_T_ADD(echoed, 1);
   }
+  // kSack receivers attach the block covering the freshest out-of-order
+  // data (RFC 2018 first-block rule); {0, 0} — no block — whenever the
+  // stream is gapless, which keeps loss-free runs bitwise NewReno.
+  SackBlock blk;
+  if (params_.recovery == LossRecovery::kSack && ack_now) {
+    blk = receiver_sack_block(h, seq, seq + len);
+  }
   if (dir == Dir::kOut) {
     // The far receiver acknowledges out-half data; its ACK re-enters the
     // rack after the connection's beyond-RSW round trip.
     if (ack_now) {
       const std::uint32_t tag = c.tag;
       const std::int64_t ackno = h.rcv_nxt;
-      sim_->schedule_after(c.reply_delay, [this, tag, ackno, ece] {
+      const std::int64_t blo = blk.lo;
+      const std::int64_t bhi = blk.hi;
+      sim_->schedule_after(c.reply_delay, [this, tag, ackno, ece, blo, bhi] {
         TcpConnection* cp = resolve(tag);
         if (cp == nullptr) return;
-        emit_now(*cp, Dir::kIn, 0, core::TcpFlags{.ack = true, .ece = ece}, 0, ackno);
+        emit_now(*cp, Dir::kIn, 0, core::TcpFlags{.ack = true, .ece = ece}, 0, ackno,
+                 blo, bhi);
       });
     }
   } else {
     // The modelled host acknowledges in-half data with a real packet.
     if (ack_now) {
-      emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true, .ece = ece}, 0, h.rcv_nxt);
+      emit_now(c, Dir::kOut, 0, core::TcpFlags{.ack = true, .ece = ece}, 0, h.rcv_nxt,
+               blk.lo, blk.hi);
     }
     if (c.close_pending) try_close(c);
   }
@@ -528,7 +619,11 @@ void TransportMux::on_rto_event(std::uint32_t tag, Dir dir) {
                       [this, tag, dir8] { on_rto_event(tag, static_cast<Dir>(dir8)); });
     return;
   }
-  apply_rto(h, params_);
+  if (params_.recovery == LossRecovery::kSack) {
+    apply_rto_sack(h, params_);  // scoreboard forgotten: go-back-N fallback
+  } else {
+    apply_rto(h, params_);
+  }
   ++stats_.rto_fired;
   FBDCSIM_T_COUNTER(rto, "transport.rto_fired", Sim);
   FBDCSIM_T_ADD(rto, 1);
@@ -682,16 +777,20 @@ void TransportMux::on_delivered(const core::SimPacket& pkt) {
       establish(c);
       return;
     }
-    on_ack_at_sender(c, Dir::kOut, static_cast<std::int64_t>(pkt.ack), f.ece);
+    on_ack_at_sender(c, Dir::kOut, static_cast<std::int64_t>(pkt.ack), f.ece,
+                     pkt.sack_lo, pkt.sack_hi);
   } else {
     // Self's ACK egressed toward the in-half's remote sender.
     if (c.state == ConnState::kSynSent || path_lost(c)) return;
     const std::uint32_t tag = c.tag;
     const std::int64_t ackno = static_cast<std::int64_t>(pkt.ack);
     const bool ece = f.ece;
-    sim_->schedule_after(c.beyond + params_.host_delay, [this, tag, ackno, ece] {
+    const std::int64_t blo = pkt.sack_lo;
+    const std::int64_t bhi = pkt.sack_hi;
+    sim_->schedule_after(c.beyond + params_.host_delay,
+                         [this, tag, ackno, ece, blo, bhi] {
       TcpConnection* cp2 = resolve(tag);
-      if (cp2 != nullptr) on_ack_at_sender(*cp2, Dir::kIn, ackno, ece);
+      if (cp2 != nullptr) on_ack_at_sender(*cp2, Dir::kIn, ackno, ece, blo, bhi);
     });
   }
 }

@@ -41,4 +41,40 @@ CongestionControl cc_from_env() {
   return cc;
 }
 
+const char* to_string(LossRecovery recovery) {
+  switch (recovery) {
+    case LossRecovery::kNewReno:
+      return "newreno";
+    case LossRecovery::kSack:
+      return "sack";
+  }
+  return "?";
+}
+
+bool parse_recovery_spec(std::string_view spec, LossRecovery& out) {
+  if (spec == "newreno" || spec == "reno") {
+    out = LossRecovery::kNewReno;
+    return true;
+  }
+  if (spec == "sack") {
+    out = LossRecovery::kSack;
+    return true;
+  }
+  return false;
+}
+
+LossRecovery recovery_from_env() {
+  const char* raw = std::getenv("FBDCSIM_RECOVERY");
+  if (raw == nullptr || raw[0] == '\0') return LossRecovery::kNewReno;
+  LossRecovery recovery = LossRecovery::kNewReno;
+  if (!parse_recovery_spec(raw, recovery)) {
+    std::fprintf(stderr,
+                 "fbdcsim: ignoring invalid FBDCSIM_RECOVERY value \"%s\" "
+                 "(expected newreno|sack); using newreno\n",
+                 raw);
+    return LossRecovery::kNewReno;
+  }
+  return recovery;
+}
+
 }  // namespace fbdcsim::transport

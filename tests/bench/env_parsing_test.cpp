@@ -1,6 +1,7 @@
 // Fuzz/edge tests for every environment knob the bench harness and runtime
 // read: FBDCSIM_BENCH_SECONDS, FBDCSIM_THREADS, FBDCSIM_BENCH_OUT,
-// FBDCSIM_FAULTS, FBDCSIM_OBS, and FBDCSIM_CC. The contract under test:
+// FBDCSIM_FAULTS, FBDCSIM_OBS, FBDCSIM_CC, and FBDCSIM_RECOVERY. The
+// contract under test:
 // malformed values — empty, whitespace, overflow, negative, trailing
 // garbage — always fall back to the documented default and never crash.
 #include <gtest/gtest.h>
@@ -309,6 +310,64 @@ TEST(CcEnvFuzzTest, ToStringRoundTripsThroughTheParser) {
     ASSERT_TRUE(transport::parse_cc_spec(transport::to_string(cc), parsed))
         << transport::to_string(cc);
     EXPECT_EQ(parsed, cc);
+  }
+}
+
+TEST(RecoveryEnvFuzzTest, ValidSpecsParse) {
+  transport::LossRecovery rec = transport::LossRecovery::kSack;
+  EXPECT_TRUE(transport::parse_recovery_spec("newreno", rec));
+  EXPECT_EQ(rec, transport::LossRecovery::kNewReno);
+  EXPECT_TRUE(transport::parse_recovery_spec("reno", rec));
+  EXPECT_EQ(rec, transport::LossRecovery::kNewReno);
+  EXPECT_TRUE(transport::parse_recovery_spec("sack", rec));
+  EXPECT_EQ(rec, transport::LossRecovery::kSack);
+}
+
+TEST(RecoveryEnvFuzzTest, MalformedSpecsAreRejectedAndLeaveTheOutputUntouched) {
+  const std::vector<const char*> bad{
+      " ",     "Sack",  "SACK",  "NewReno", "RENO",  "sack ",   " sack",
+      "dsack", "fack",  "newreno,sack",     "sack:1", "½",      "\n",
+      "sack\n",         "s a c k",          "0",      "1"};
+  for (const char* spec : bad) {
+    transport::LossRecovery rec = transport::LossRecovery::kSack;
+    EXPECT_FALSE(transport::parse_recovery_spec(spec, rec)) << "'" << spec << "'";
+    EXPECT_EQ(rec, transport::LossRecovery::kSack)
+        << "'" << spec << "' must leave the output untouched on failure";
+  }
+}
+
+TEST(RecoveryEnvFuzzTest, EnvResolutionFallsBackToNewRenoAndNeverCrashes) {
+  EnvVarGuard guard{"FBDCSIM_RECOVERY"};
+  EXPECT_EQ(transport::recovery_from_env(), transport::LossRecovery::kNewReno);  // unset
+  for (const char* bad : {"", " ", "garbage", "SACK", "sack ", "reno;sack", "½", "\n"}) {
+    guard.set(bad);
+    EXPECT_EQ(transport::recovery_from_env(), transport::LossRecovery::kNewReno)
+        << "'" << bad << "'";
+  }
+  guard.set("sack");
+  EXPECT_EQ(transport::recovery_from_env(), transport::LossRecovery::kSack);
+  guard.set("newreno");
+  EXPECT_EQ(transport::recovery_from_env(), transport::LossRecovery::kNewReno);
+}
+
+TEST(RecoveryEnvFuzzTest, BenchEnvResolvesRecoveryOncePerEnv) {
+  EnvVarGuard guard{"FBDCSIM_RECOVERY"};
+  guard.set("sack");
+  BenchEnv env;
+  EXPECT_EQ(env.recovery(), transport::LossRecovery::kSack);
+  guard.set("reno");  // must not affect the already-resolved env
+  EXPECT_EQ(env.recovery(), transport::LossRecovery::kSack);
+  BenchEnv fresh;
+  EXPECT_EQ(fresh.recovery(), transport::LossRecovery::kNewReno);
+}
+
+TEST(RecoveryEnvFuzzTest, ToStringRoundTripsThroughTheParser) {
+  for (const auto rec :
+       {transport::LossRecovery::kNewReno, transport::LossRecovery::kSack}) {
+    transport::LossRecovery parsed{};
+    ASSERT_TRUE(transport::parse_recovery_spec(transport::to_string(rec), parsed))
+        << transport::to_string(rec);
+    EXPECT_EQ(parsed, rec);
   }
 }
 

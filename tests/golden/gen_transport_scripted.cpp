@@ -23,6 +23,15 @@
 // That file was generated on the tree BEFORE the DCTCP/ECN + topology-RTT
 // variant landed; DctcpGolden.NewRenoDefaultMatchesPrePrOutput re-runs the
 // presets and compares, proving the kNewReno default stayed byte-identical.
+// tests/golden/transport_recovery_newreno.golden.txt is the same presets
+// generated on the tree BEFORE the SACK recovery variant landed (it equals
+// transport_newreno.golden.txt by construction); SackGolden re-runs them
+// with TcpParams::recovery = kNewReno explicit and compares.
+//
+// With `--sack` the kTcp presets run with TcpParams::recovery = kSack —
+// handy for eyeballing the variant's fingerprints; no golden commits this
+// output (the SACK differential pins bit-identity across engines and
+// thread counts instead).
 #include <cstdio>
 #include <cstring>
 
@@ -33,7 +42,8 @@
 using namespace fbdcsim;
 
 int main(int argc, char** argv) {
-  const bool tcp = argc > 1 && std::strcmp(argv[1], "--tcp") == 0;
+  const bool sack = argc > 1 && std::strcmp(argv[1], "--sack") == 0;
+  const bool tcp = sack || (argc > 1 && std::strcmp(argv[1], "--tcp") == 0);
   const core::HostRole kRoles[] = {core::HostRole::kWeb, core::HostRole::kCacheFollower,
                                    core::HostRole::kCacheLeader, core::HostRole::kHadoop};
   const topology::Fleet fleet = workload::build_rack_experiment_fleet();
@@ -45,6 +55,7 @@ int main(int argc, char** argv) {
       cfg.warmup = core::Duration::millis(100);
       cfg.sample_buffer = true;
       if (tcp) cfg.transport = workload::Transport::kTcp;
+      if (sack) cfg.tcp.recovery = transport::LossRecovery::kSack;
       if (faulted) cfg.faults = &heavy;
       workload::RackSimulation rack{fleet, cfg};
       const workload::RackSimResult result = rack.run();
