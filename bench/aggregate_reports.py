@@ -9,16 +9,23 @@ per job; this tool folds any number of them into a single
 be diffed with one file fetch instead of N.
 
 Usage:
-    aggregate_reports.py [-o OUT] REPORT.json [REPORT.json ...]
+    aggregate_reports.py [-o OUT] [--validate-flows FLOWS.jsonl ...] \
+        REPORT.json [REPORT.json ...]
 
 The merged document carries, per bench: the source report file name, the
 report's own metadata verbatim, and a flattened ``headline`` section (the
-bench's "extra" values, the sim-counter totals, and per-series summaries
-of the observability ``timeseries`` section) for quick plotting.
+bench's "extra" values, the sim-counter totals, per-series summaries of
+the observability ``timeseries`` section, and per-cell p99 slowdowns of
+the FlowLedger ``fct`` section) for quick plotting.
 Reports that fail to parse — or parse but are not report-shaped (a bench
 killed mid-write leaves valid-JSON fragments) — are listed under
 ``errors`` instead of aborting the merge: one corrupt report must not
 hide the others.
+
+``--validate-flows`` additionally schema-checks a canonical flows.jsonl
+export (bench/common.h writes one per BenchReport with ledger dumps):
+every line must carry the full record key set and in-order event
+timestamps. Validation failures are reported per file and fail the run.
 """
 
 import argparse
@@ -61,9 +68,95 @@ def headline(report: dict) -> dict:
             summary = _series_summary(series)
             if summary is not None:
                 out[f"timeseries.{key}.{name}"] = summary
+    fct = _dict(report.get("fct"))
+    if fct:
+        out["fct.completed"] = fct.get("completed")
+        out["fct.incomplete"] = fct.get("incomplete")
+        for cell in fct.get("cells", []):
+            cell = _dict(cell)
+            key = f"fct.{cell.get('role')}.{cell.get('locality')}.{cell.get('bucket')}"
+            out[f"{key}.count"] = cell.get("count")
+            out[f"{key}.p99_slowdown"] = _dict(cell.get("slowdown")).get("p99")
     if "wall_seconds" in report:
         out["wall_seconds"] = report["wall_seconds"]
     return out
+
+
+# Key sets of the canonical flows.jsonl schema (telemetry/flow_ledger.cpp,
+# append_record — one JSON object per closed transfer).
+FLOW_RECORD_KEYS = frozenset({
+    "source", "id", "tag", "dir", "role", "peer_role", "locality", "tuple",
+    "born_ns", "syn_sends", "established_ns", "start_ns", "completed_ns",
+    "bytes", "rtx_bytes", "rtt_ns", "bottleneck_bps", "ideal_ns",
+    "drops_total", "rtx_total", "rto_count", "ecn_reductions",
+    "drops", "rtx", "episodes",
+})
+FLOW_DROP_KEYS = frozenset(
+    {"id", "t_ns", "seq", "len", "cause", "switch", "port", "fault_epoch", "claimed"})
+FLOW_RTX_KEYS = frozenset({"t_ns", "seq", "len", "kind", "cause_id"})
+FLOW_EPISODE_KEYS = frozenset({"kind", "start_ns", "end_ns", "detail"})
+
+
+def _check_record(record: dict) -> str | None:
+    """One flows.jsonl record's schema violation, or None if clean."""
+    if set(record) != FLOW_RECORD_KEYS:
+        missing = FLOW_RECORD_KEYS - set(record)
+        extra = set(record) - FLOW_RECORD_KEYS
+        return f"key set mismatch (missing={sorted(missing)}, extra={sorted(extra)})"
+    for name, keys in (("drops", FLOW_DROP_KEYS), ("rtx", FLOW_RTX_KEYS),
+                       ("episodes", FLOW_EPISODE_KEYS)):
+        events = record[name]
+        if not isinstance(events, list):
+            return f"{name} is not a list"
+        prev = None
+        for i, event in enumerate(events):
+            if not isinstance(event, dict) or set(event) != keys:
+                return f"{name}[{i}] key set mismatch"
+            t = event["t_ns"] if name != "episodes" else event["start_ns"]
+            if prev is not None and t < prev:
+                return f"{name}[{i}] timestamps not monotone ({t} < {prev})"
+            prev = t
+    if record["completed_ns"] >= 0 and record["completed_ns"] < record["start_ns"]:
+        return "completed_ns precedes start_ns"
+    if record["born_ns"] >= 0 and record["start_ns"] >= 0 \
+            and record["start_ns"] < record["born_ns"]:
+        return "start_ns precedes born_ns"
+    return None
+
+
+def validate_flows(path: str) -> list[str]:
+    """Schema violations in one flows.jsonl file (empty = clean)."""
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as exc:
+        return [str(exc)]
+    if text and not text.endswith("\n"):
+        problems.append("missing trailing newline")
+    seen_ids = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {line_no}: {exc}")
+            continue
+        problem = _check_record(record) if isinstance(record, dict) \
+            else "record is not a JSON object"
+        if problem:
+            problems.append(f"line {line_no}: {problem}")
+            continue
+        # Record ids are unique per source ledger. (The ring is in CLOSE
+        # order while ids are assigned at transfer OPEN, so monotonicity
+        # across lines is not an invariant — uniqueness is.)
+        source = record["source"]
+        if record["id"] in seen_ids.setdefault(source, set()):
+            problems.append(f"line {line_no}: duplicate record id "
+                            f"{record['id']} for source {source}")
+        seen_ids[source].add(record["id"])
+    return problems
 
 
 def main(argv: list[str]) -> int:
@@ -71,6 +164,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("reports", nargs="+", help="bench_*.json report files")
     parser.add_argument("-o", "--output", default="bench_trajectory.json",
                         help="merged output path (default: %(default)s)")
+    parser.add_argument("--validate-flows", action="append", default=[],
+                        metavar="FLOWS.jsonl",
+                        help="schema-check a canonical flows.jsonl export "
+                             "(repeatable); violations fail the run")
     args = parser.parse_args(argv)
 
     merged = {"benches": {}, "errors": {}}
@@ -105,7 +202,21 @@ def main(argv: list[str]) -> int:
           f"{len(merged['errors'])} errors")
     for path, err in merged["errors"].items():
         print(f"  error: {path}: {err}", file=sys.stderr)
-    return 1 if merged["errors"] else 0
+
+    flows_failed = False
+    for path in args.validate_flows:
+        problems = validate_flows(path)
+        if problems:
+            flows_failed = True
+            for problem in problems[:20]:
+                print(f"  flows schema: {path}: {problem}", file=sys.stderr)
+            if len(problems) > 20:
+                print(f"  flows schema: {path}: ... and "
+                      f"{len(problems) - 20} more", file=sys.stderr)
+        else:
+            lines = sum(1 for line in open(path, encoding="utf-8") if line.strip())
+            print(f"{path}: {lines} flow records, schema OK")
+    return 1 if merged["errors"] or flows_failed else 0
 
 
 if __name__ == "__main__":

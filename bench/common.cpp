@@ -235,6 +235,10 @@ std::string BenchReport::tracepoints_path() const {
   return sibling_path_for(report_path(), ".tracepoints.jsonl");
 }
 
+std::string BenchReport::flows_path() const {
+  return sibling_path_for(report_path(), ".flows.jsonl");
+}
+
 void BenchReport::add_timeseries(const std::string& key,
                                  const std::vector<telemetry::SeriesSnapshot>& series) {
   const std::string json = telemetry::timeseries_to_json(series);
@@ -250,6 +254,13 @@ void BenchReport::add_timeseries(const std::string& key,
 void BenchReport::add_tracepoints(telemetry::TracePointDump dump) {
   tracepoint_dumps_.push_back(std::move(dump));
 }
+
+void BenchReport::add_flows(telemetry::FlowLedgerDump dump) {
+  if (dump.records.empty() && dump.total == 0) return;  // ledger never engaged
+  flow_dumps_.push_back(std::move(dump));
+}
+
+void BenchReport::add_fct(std::string fct_json) { fct_json_ = std::move(fct_json); }
 
 std::string BenchReport::to_json() const {
   const telemetry::Snapshot snap = telemetry::MetricsRegistry::global().snapshot();
@@ -323,6 +334,11 @@ std::string BenchReport::to_json() const {
     }
     out += "}";
   }
+  // FCT tail analytics (FBDCSIM_OBS=flows runs that computed one) — absent
+  // otherwise so pre-ledger reports stay byte-identical.
+  if (!fct_json_.empty()) {
+    out += ",\"fct\":" + fct_json_;
+  }
   out += ",\"metrics\":" + telemetry::to_json(snap);
   out += "}";
   return out;
@@ -365,6 +381,16 @@ BenchReport::~BenchReport() {
       std::fwrite(jsonl.data(), 1, jsonl.size(), f);
       std::fclose(f);
       std::fprintf(stderr, "bench tracepoints: %s\n", jpath.c_str());
+    }
+  }
+
+  if (!flow_dumps_.empty()) {
+    const std::string fpath = flows_path();
+    if (std::FILE* f = std::fopen(fpath.c_str(), "w")) {
+      const std::string jsonl = telemetry::flows_to_jsonl(flow_dumps_);
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "bench flows: %s\n", fpath.c_str());
     }
   }
 }

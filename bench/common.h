@@ -21,6 +21,7 @@
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/thread_pool.h"
 #include "fbdcsim/telemetry/export.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
 #include "fbdcsim/telemetry/obs.h"
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/telemetry/timeseries.h"
@@ -80,10 +81,22 @@ class BenchReport {
   /// the records into the Chrome trace as sim-clock instant events.
   void add_tracepoints(telemetry::TracePointDump dump);
 
+  /// Attaches a flow-ledger dump (FBDCSIM_OBS=flows runs). The destructor
+  /// writes every dump, canonically ordered by source id, to
+  /// bench_<name>.flows.jsonl. Empty dumps (records empty and total == 0 —
+  /// the ledger never engaged) are skipped so non-flows runs emit no file.
+  void add_flows(telemetry::FlowLedgerDump dump);
+
+  /// Attaches the report's "fct" section (a pre-rendered JSON object,
+  /// normally analysis::FctTable::to_json()). Absent until set, so reports
+  /// from benches without FCT analytics stay byte-identical.
+  void add_fct(std::string fct_json);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::string report_path() const;
   [[nodiscard]] std::string trace_path() const;
   [[nodiscard]] std::string tracepoints_path() const;
+  [[nodiscard]] std::string flows_path() const;
 
   /// The report JSON (also what the destructor writes). Exposed for tests.
   [[nodiscard]] std::string to_json() const;
@@ -100,6 +113,9 @@ class BenchReport {
   /// (key, pre-rendered timeseries JSON object), in first-insertion order.
   std::vector<std::pair<std::string, std::string>> timeseries_;
   std::vector<telemetry::TracePointDump> tracepoint_dumps_;
+  std::vector<telemetry::FlowLedgerDump> flow_dumps_;
+  /// Pre-rendered "fct" JSON object; empty = section absent.
+  std::string fct_json_;
 };
 
 /// FBDCSIM_BENCH_SECONDS as a validated value (std::nullopt when unset or

@@ -1,0 +1,294 @@
+// FlowLedger: per-flow causal lifecycle records (DESIGN.md §14).
+//
+// Where TimeSeriesProbe answers "when" and TracePointLog answers "what
+// event", the ledger stitches events into per-flow stories: one record per
+// *directed transfer* (a demand burst on one half-stream of a TcpConnection,
+// from first queued byte to the ACK that drains it) carrying
+//
+//   - birth context: generation-tagged flow tag, 5-tuple, monitored-host
+//     role, peer role, locality class, topology-derived base RTT and
+//     bottleneck rate;
+//   - handshake milestones: SYN (re)send count and established time,
+//     stamped from the owning connection (-1 when the connection was pooled
+//     and never handshook inside the run);
+//   - loss events with causal attribution: every switch drop (switch id +
+//     egress port + sim time, plus the fault-epoch id when a faults/
+//     decision shrank the buffer), every beyond-RSW path-loss draw, and —
+//     from the scripted-loss test harness — injected drops. Each drop gets
+//     a ledger-wide monotone attribution id that never changes, even after
+//     ring eviction discards the record that owned it;
+//   - retransmissions, each linked back to its cause: a retransmitted
+//     segment claims the earliest unclaimed drop overlapping its byte
+//     range; go-back-N resends after a timeout inherit the drop that
+//     caused the RTO; anything else (e.g. an ACK lost on the return path)
+//     stays unattributed with cause_id = -1;
+//   - recovery-law episodes: fast-recovery / SACK-episode enter+exit
+//     intervals (never overlapping per record — entering twice without an
+//     exit is impossible by construction), RTO fires and ECN-driven cwnd
+//     reductions as point episodes;
+//   - completion: FCT (first demand to full ACK), transfer bytes,
+//     retransmitted bytes, and the ideal FCT (base RTT + bytes at the
+//     bottleneck rate) consumers divide by for slowdown.
+//
+// Determinism contract: the ledger is fed exclusively from the owning
+// simulation's thread, stores only sim-derived integers, and keeps records
+// in a bounded arena-backed ring (completion order, oldest evicted first) —
+// so flows_to_jsonl output is bit-identical across engines and
+// FBDCSIM_THREADS settings, and empty (byte-identical-off) unless
+// FBDCSIM_OBS=flows opted in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "fbdcsim/core/arena.h"
+#include "fbdcsim/core/flow.h"
+#include "fbdcsim/core/packet.h"
+
+namespace fbdcsim::telemetry {
+
+/// What removed a data segment from the wire.
+enum class FlowDropCause : std::uint8_t {
+  kSwitchBuffer = 0,  // DT admission rejected it at the shared-buffer switch
+  kPathLoss,          // the fault plan's beyond-RSW loss draw ate it
+  kScripted,          // a test harness (tests/support/scripted_loss.h) dropped it
+};
+
+[[nodiscard]] const char* to_string(FlowDropCause cause);
+
+/// kFaultEpoch code for drop records whose cause was a faults/ path-loss
+/// draw (extends the tracepoint.h kFaultEpoch* codes, which cover the t=0
+/// epoch decisions).
+inline constexpr std::int64_t kFaultEpochPathLoss = 3;
+
+enum class FlowRtxKind : std::uint8_t {
+  kDupack = 0,  // sent while the half-stream was in fast recovery
+  kRto,         // go-back-N stream after a timeout
+};
+
+[[nodiscard]] const char* to_string(FlowRtxKind kind);
+
+enum class FlowEpisodeKind : std::uint8_t {
+  kFastRecovery = 0,  // NewReno dupack-triggered episode (interval)
+  kSackRecovery,      // RFC 6675 scoreboard episode (interval)
+  kRto,               // timeout fired (point: end == start, detail = backoff)
+  kEcnReduction,      // DCTCP alpha-scaled cut (point, detail = cwnd after)
+};
+
+[[nodiscard]] const char* to_string(FlowEpisodeKind kind);
+
+/// One observed drop. `id` is ledger-wide, monotone from 1, and stable for
+/// the life of the ledger — retransmissions reference it via cause_id.
+struct FlowDropEvent {
+  std::int64_t id{0};
+  std::int64_t t_ns{0};
+  std::int64_t seq{0};
+  std::int64_t len{0};
+  FlowDropCause cause{FlowDropCause::kSwitchBuffer};
+  bool claimed{false};           // some retransmission linked back to it
+  std::int32_t port{-1};         // switch egress port; -1 for path loss
+  std::uint64_t switch_id{0};    // meaningful for kSwitchBuffer only
+  std::int64_t fault_epoch{-1};  // kFaultEpoch* code when faults/ caused it
+};
+
+struct FlowRtxEvent {
+  std::int64_t t_ns{0};
+  std::int64_t seq{0};
+  std::int64_t len{0};
+  std::int64_t cause_id{-1};  // FlowDropEvent::id, or -1 = unattributed
+  FlowRtxKind kind{FlowRtxKind::kDupack};
+};
+
+struct FlowEpisode {
+  std::int64_t start_ns{0};
+  std::int64_t end_ns{-1};  // -1 = still open when the record closed
+  std::int64_t detail{0};   // kRto: backoff step; kEcnReduction: cwnd after
+  FlowEpisodeKind kind{FlowEpisodeKind::kFastRecovery};
+};
+
+inline constexpr std::size_t kFlowMaxDrops = 8;
+inline constexpr std::size_t kFlowMaxRtx = 16;
+inline constexpr std::size_t kFlowMaxEpisodes = 8;
+
+/// One directed transfer. Retained event arrays are bounded; the *_total
+/// counters keep counting past the bounds (drops_total > drop_count means
+/// the array overflowed and later drops kept only their count).
+struct FlowLedgerRecord {
+  std::int64_t id{0};  // ledger-wide record id, monotone with transfer start
+  std::uint32_t flow_tag{0};
+  std::uint8_t dir{0};  // 0 = out (monitored host sends), 1 = in
+  core::HostRole role{core::HostRole::kWeb};
+  core::HostRole peer_role{core::HostRole::kWeb};
+  core::Locality locality{core::Locality::kIntraRack};
+  core::FiveTuple tuple{};  // out-direction orientation (self -> peer)
+
+  std::int64_t conn_born_ns{-1};
+  std::int64_t syn_sends{0};
+  std::int64_t established_ns{-1};  // -1: pooled (handshake predates the run)
+
+  std::int64_t start_ns{-1};      // first demand of this transfer
+  std::int64_t completed_ns{-1};  // all bytes acked; -1 = never completed
+  std::int64_t bytes{0};          // demand bytes the transfer carried
+  std::int64_t rtx_bytes{0};
+  std::int64_t rtt_ns{0};             // this direction's feedback-loop RTT
+  std::int64_t bottleneck_bps{0};     // bottleneck rate, bytes per second
+  std::int64_t ideal_ns{0};           // rtt_ns + bytes at bottleneck_bps
+
+  std::int64_t drops_total{0};
+  std::int64_t rtx_total{0};
+  std::int64_t rto_count{0};
+  std::int64_t ecn_reductions{0};
+
+  std::size_t drop_count{0};
+  std::size_t rtx_count{0};
+  std::size_t episode_count{0};
+  FlowDropEvent drops[kFlowMaxDrops]{};
+  FlowRtxEvent rtxs[kFlowMaxRtx]{};
+  FlowEpisode episodes[kFlowMaxEpisodes]{};
+
+  [[nodiscard]] bool completed() const { return completed_ns >= 0; }
+  [[nodiscard]] std::int64_t fct_ns() const {
+    return completed() ? completed_ns - start_ns : -1;
+  }
+  /// FCT / ideal FCT; 0 for incomplete records.
+  [[nodiscard]] double slowdown() const {
+    if (!completed() || ideal_ns <= 0) return 0.0;
+    return static_cast<double>(fct_ns()) / static_cast<double>(ideal_ns);
+  }
+};
+
+/// A ledger's value snapshot: the retained ring oldest-first plus the
+/// counts eviction discarded.
+struct FlowLedgerDump {
+  std::uint64_t source_id{0};
+  std::int64_t total{0};        // records ever closed (total > records.size()
+                                // means the ring evicted)
+  std::int64_t stray_events{0};  // drop/rtx/episode events with no open transfer
+  std::vector<FlowLedgerRecord> records;
+};
+
+/// `rtt_ns + bytes / bottleneck_bytes_per_sec`, exact integer arithmetic.
+[[nodiscard]] std::int64_t ideal_fct_ns(std::int64_t bytes, std::int64_t rtt_ns,
+                                        std::int64_t bottleneck_bytes_per_sec);
+
+/// Bounded, arena-backed transfer ledger. One per simulation; every hook is
+/// called from that simulation's thread only. Unknown flow tags are ignored
+/// (stale packets from recycled connections, or a ledger attached mid-run).
+class FlowLedger {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlowLedger(std::uint64_t source_id, std::size_t capacity = kDefaultCapacity);
+
+  FlowLedger(const FlowLedger&) = delete;
+  FlowLedger& operator=(const FlowLedger&) = delete;
+
+  // ---- lifecycle hooks (TransportMux instrumentation points) ----
+  void on_birth(std::uint32_t tag, std::int64_t t_ns, const core::FiveTuple& tuple,
+                core::HostRole role, core::HostRole peer_role, core::Locality locality,
+                std::int64_t rtt_out_ns, std::int64_t rtt_in_ns,
+                std::int64_t bottleneck_bytes_per_sec);
+  void on_syn(std::uint32_t tag, std::int64_t t_ns);
+  void on_established(std::uint32_t tag, std::int64_t t_ns);
+  void on_demand(std::uint32_t tag, std::int64_t t_ns, int dir, std::int64_t bytes);
+  /// Cumulative-ACK advance: `snd_una` is the half-stream's new lower edge.
+  /// Closes the open transfer when it catches the demanded total.
+  void on_acked(std::uint32_t tag, std::int64_t t_ns, int dir, std::int64_t snd_una);
+  void on_drop(std::uint32_t tag, std::int64_t t_ns, int dir, std::int64_t seq,
+               std::int64_t len, FlowDropCause cause, std::uint64_t switch_id,
+               std::int32_t port, std::int64_t fault_epoch);
+  void on_retransmit(std::uint32_t tag, std::int64_t t_ns, int dir, std::int64_t seq,
+                     std::int64_t len, FlowRtxKind kind);
+  void on_recovery_enter(std::uint32_t tag, std::int64_t t_ns, int dir,
+                         FlowEpisodeKind kind);
+  void on_recovery_exit(std::uint32_t tag, std::int64_t t_ns, int dir);
+  void on_rto(std::uint32_t tag, std::int64_t t_ns, int dir, std::int64_t backoff);
+  void on_ecn_reduction(std::uint32_t tag, std::int64_t t_ns, int dir,
+                        std::int64_t cwnd_after);
+  /// Connection slot recycled (close, handshake failure): open transfers
+  /// close as incomplete and the tag is forgotten.
+  void on_release(std::uint32_t tag, std::int64_t t_ns);
+
+  /// End of capture: flushes every still-open transfer into the ring as
+  /// incomplete, in connection-creation order (deterministic).
+  void finalize(std::int64_t t_ns);
+
+  [[nodiscard]] std::uint64_t source_id() const { return source_id_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t total_closed() const { return total_; }
+  [[nodiscard]] std::int64_t live_transfers() const { return open_transfers_; }
+  [[nodiscard]] std::int64_t stray_events() const { return stray_events_; }
+
+  [[nodiscard]] FlowLedgerDump snapshot() const;
+
+ private:
+  struct HalfLive {
+    FlowLedgerRecord* open{nullptr};  // pooled; null when drained
+    std::int64_t demanded{0};         // cumulative stream demand (absolute)
+    std::int64_t acked{0};            // cumulative ACK edge (absolute)
+    std::int64_t rto_cause_id{-1};    // drop the last RTO was pinned on
+    bool in_recovery{false};
+  };
+  struct ConnLive {
+    std::int64_t serial{0};  // creation order, the finalize() sort key
+    core::FiveTuple tuple{};
+    core::HostRole role{core::HostRole::kWeb};
+    core::HostRole peer_role{core::HostRole::kWeb};
+    core::Locality locality{core::Locality::kIntraRack};
+    std::int64_t born_ns{0};
+    std::int64_t syn_sends{0};
+    std::int64_t established_ns{-1};
+    std::int64_t rtt_ns[2]{0, 0};
+    std::int64_t bottleneck_bps{0};
+    HalfLive half[2];
+  };
+
+  [[nodiscard]] ConnLive* live(std::uint32_t tag);
+  FlowLedgerRecord& open_transfer(ConnLive& conn, std::uint32_t tag, int dir,
+                                  std::int64_t t_ns);
+  void close_transfer(ConnLive& conn, int dir, std::int64_t completed_ns);
+  void push_to_ring(const FlowLedgerRecord& record);
+
+  core::Arena arena_;
+  core::Pool<FlowLedgerRecord> pool_{arena_};
+  FlowLedgerRecord* ring_;
+  std::size_t capacity_;
+  std::size_t next_{0};
+  std::int64_t total_{0};
+  std::uint64_t source_id_;
+  std::unordered_map<std::uint32_t, ConnLive> live_;
+  std::int64_t next_record_id_{0};
+  std::int64_t next_drop_id_{0};
+  std::int64_t next_conn_serial_{0};
+  std::int64_t open_transfers_{0};
+  std::int64_t stray_events_{0};
+};
+
+/// Canonical JSONL: one JSON object per record, dumps ordered by source id
+/// (stable for ties), records kept in ring (completion) order. Keys are
+/// fixed-order, values are integers and fixed strings — bit-identical for
+/// equal inputs. Schema (DESIGN.md §14):
+///   {"source":N,"id":N,"tag":N,"dir":"out|in","role":S,"peer_role":S,
+///    "locality":S,"tuple":S,"born_ns":N,"syn_sends":N,"established_ns":N,
+///    "start_ns":N,"completed_ns":N,"bytes":N,"rtx_bytes":N,"rtt_ns":N,
+///    "bottleneck_bps":N,"ideal_ns":N,"drops_total":N,"rtx_total":N,
+///    "rto_count":N,"ecn_reductions":N,
+///    "drops":[{"id":N,"t_ns":N,"seq":N,"len":N,"cause":S,"switch":N,
+///              "port":N,"fault_epoch":N,"claimed":0|1}],
+///    "rtx":[{"t_ns":N,"seq":N,"len":N,"kind":"dupack|rto","cause_id":N}],
+///    "episodes":[{"kind":S,"start_ns":N,"end_ns":N,"detail":N}]}
+[[nodiscard]] std::string flows_to_jsonl(std::vector<FlowLedgerDump> dumps);
+
+/// Parses flows_to_jsonl output back into per-source dumps (total =
+/// records retained, stray_events = 0 — neither is serialized). Returns
+/// std::nullopt on malformed input and, when `error` is non-null, explains
+/// why. flows_to_jsonl(*flows_from_jsonl(s)) == s for canonical s.
+[[nodiscard]] std::optional<std::vector<FlowLedgerDump>> flows_from_jsonl(
+    std::string_view jsonl, std::string* error = nullptr);
+
+}  // namespace fbdcsim::telemetry

@@ -8,6 +8,11 @@
 //            stderr when the run completes.
 //   dump:N   like `dump` with a flight-recorder capacity of N records
 //            (1..1048576).
+//   flows    like `on`, plus the per-flow FlowLedger (telemetry/flow_ledger.h):
+//            transfer lifecycle records with causal drop attribution, exported
+//            as flows.jsonl / the BenchReport fct section.
+//   flows:N  like `flows` with a ledger ring capacity of N records
+//            (1..1048576).
 //
 // Malformed values follow the same contract as FBDCSIM_FAULTS /
 // FBDCSIM_BENCH_SECONDS: one stderr diagnostic, then the documented default
@@ -39,13 +44,18 @@ struct ObsConfig {
   /// rack's ~10^4-connection sums off the 10 us hot cadence (1 ms
   /// effective) without touching the O(1) switch/queue gauges.
   std::int64_t transport_stride = 100;
+  /// Per-flow lifecycle ledger (FBDCSIM_OBS=flows). Off by default — runs
+  /// without the opt-in stay byte-identical to pre-ledger releases.
+  bool flows = false;
+  /// FlowLedger ring capacity (last N closed transfers retained).
+  std::size_t flow_capacity = 4096;
 
   [[nodiscard]] bool enabled() const { return mode != Mode::kOff; }
 };
 
 [[nodiscard]] const char* to_string(ObsConfig::Mode mode);
 
-/// Parses an FBDCSIM_OBS value (`off|on|dump[:N]`, lowercase). Returns
+/// Parses an FBDCSIM_OBS value (`off|on|dump[:N]|flows[:N]`, lowercase). Returns
 /// std::nullopt on malformed input and, when `error` is non-null, explains
 /// why.
 [[nodiscard]] std::optional<ObsConfig> parse_obs_spec(std::string_view spec,

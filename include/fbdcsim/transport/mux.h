@@ -49,6 +49,7 @@ class FaultPlan;
 }  // namespace fbdcsim::faults
 
 namespace fbdcsim::telemetry {
+class FlowLedger;
 class TimeSeriesProbe;
 class TracePointLog;
 }  // namespace fbdcsim::telemetry
@@ -118,13 +119,26 @@ class TransportMux final : public DemandSink {
   // ---- switch callbacks (wired up by the rack simulation) ----
   /// A packet finished transmission on some RSW egress port.
   void on_delivered(const core::SimPacket& packet);
-  /// DT admission rejected a packet (a real shared-buffer drop).
-  void on_dropped(const core::SimPacket& packet);
+  /// DT admission rejected a packet (a real shared-buffer drop) on the
+  /// given egress port — the causal fact the flow ledger attributes
+  /// retransmissions to.
+  void on_dropped(std::size_t port, const core::SimPacket& packet);
 
   // ---- observability (wired up by the rack simulation) ----
   /// Installs (or clears) the tracepoint sink for RTO fires, fast-recovery
   /// transitions, and handshake retries. Null by default (zero cost).
   void set_trace_log(telemetry::TracePointLog* log) { trace_log_ = log; }
+  /// Installs (or clears) the per-flow lifecycle ledger (FBDCSIM_OBS=flows).
+  /// Null by default — every hook site is a single pointer test, so runs
+  /// without the opt-in stay byte-identical. `switch_id` stamps switch-drop
+  /// attributions; `switch_drop_fault_epoch` is the kFaultEpoch* code when a
+  /// faults/ decision (buffer shrink) is in force, -1 otherwise.
+  void set_flow_ledger(telemetry::FlowLedger* ledger, std::uint64_t switch_id = 0,
+                       std::int64_t switch_drop_fault_epoch = -1) {
+    flow_ledger_ = ledger;
+    ledger_switch_id_ = switch_id;
+    switch_drop_fault_epoch_ = switch_drop_fault_epoch;
+  }
   /// Registers the mux's sim-time gauges on `probe`: live connection count
   /// and the out-half cwnd/ssthresh/inflight aggregates plus pending-RTO
   /// timer count, summed over live connections in slot order. The sums are
@@ -212,6 +226,9 @@ class TransportMux final : public DemandSink {
   const faults::FaultPlan* faults_;
   bool faults_enabled_{false};
   telemetry::TracePointLog* trace_log_{nullptr};
+  telemetry::FlowLedger* flow_ledger_{nullptr};
+  std::uint64_t ledger_switch_id_{0};
+  std::int64_t switch_drop_fault_epoch_{-1};
 
   core::Arena arena_;
   core::Pool<TcpConnection> pool_{arena_};

@@ -20,6 +20,7 @@
 #include "fbdcsim/services/traffic_model.h"
 #include "fbdcsim/sim/simulator.h"
 #include "fbdcsim/switching/switch.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
 #include "fbdcsim/telemetry/obs.h"
 #include "fbdcsim/telemetry/timeseries.h"
 #include "fbdcsim/telemetry/tracepoint.h"
@@ -124,6 +125,10 @@ struct RackSimResult {
   /// and the flight recorder's retained tracepoints.
   std::vector<telemetry::SeriesSnapshot> timeseries;
   telemetry::TracePointDump tracepoints;
+  /// Per-flow lifecycle records (empty unless FBDCSIM_OBS=flows and
+  /// transport == kTcp): closed transfers oldest-first, with causal drop
+  /// attribution for every retransmission (DESIGN.md §14).
+  telemetry::FlowLedgerDump flows;
 };
 
 /// Runs one rack-level packet simulation. The fleet must outlive the run.
@@ -168,6 +173,9 @@ class RackSimulation : public services::TrafficSink {
   /// probe timer only during run().
   std::unique_ptr<telemetry::TracePointLog> tracepoints_;
   std::unique_ptr<telemetry::TimeSeriesProbe> probe_;
+  /// Per-flow lifecycle ledger (null unless config_.obs.flows opted in and
+  /// the transport is kTcp — scripted packets carry no transport lifecycle).
+  std::unique_ptr<telemetry::FlowLedger> flow_ledger_;
   std::unique_ptr<sim::PeriodicTimer> probe_timer_;
   monitoring::CaptureBuffer capture_buffer_;
   std::unique_ptr<monitoring::PortMirror> mirror_;

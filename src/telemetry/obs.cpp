@@ -32,22 +32,46 @@ std::optional<ObsConfig> parse_obs_spec(std::string_view spec, std::string* erro
     config.mode = ObsConfig::Mode::kDump;
     return config;
   }
-  constexpr std::string_view kDumpPrefix = "dump:";
-  if (spec.substr(0, kDumpPrefix.size()) == kDumpPrefix) {
-    const std::string_view arg = spec.substr(kDumpPrefix.size());
-    if (arg.empty()) return fail("dump: requires a record count");
+  if (spec == "flows") {
+    config.mode = ObsConfig::Mode::kOn;
+    config.flows = true;
+    return config;
+  }
+  const auto parse_count = [&fail](std::string_view arg, const char* what,
+                                   std::size_t& out) -> std::optional<ObsConfig> {
+    if (arg.empty()) {
+      return fail(std::string{what} + ": requires a record count");
+    }
     std::size_t n = 0;
     for (const char c : arg) {
-      if (c < '0' || c > '9') return fail("dump count is not a positive integer");
+      if (c < '0' || c > '9') {
+        return fail(std::string{what} + " count is not a positive integer");
+      }
       n = n * 10 + static_cast<std::size_t>(c - '0');
-      if (n > 1048576) return fail("dump count exceeds 1048576");
+      if (n > 1048576) return fail(std::string{what} + " count exceeds 1048576");
     }
-    if (n == 0) return fail("dump count must be >= 1");
+    if (n == 0) return fail(std::string{what} + " count must be >= 1");
+    out = n;
+    return ObsConfig{};  // marker: parse succeeded (caller fills the config)
+  };
+  constexpr std::string_view kDumpPrefix = "dump:";
+  if (spec.substr(0, kDumpPrefix.size()) == kDumpPrefix) {
+    std::size_t n = 0;
+    if (!parse_count(spec.substr(kDumpPrefix.size()), "dump", n)) return std::nullopt;
     config.mode = ObsConfig::Mode::kDump;
     config.flight_recorder = n;
     return config;
   }
-  return fail("expected off|on|dump[:N]");
+  constexpr std::string_view kFlowsPrefix = "flows:";
+  if (spec.substr(0, kFlowsPrefix.size()) == kFlowsPrefix) {
+    std::size_t n = 0;
+    if (!parse_count(spec.substr(kFlowsPrefix.size()), "flows", n)) return std::nullopt;
+    config.mode = ObsConfig::Mode::kOn;
+    config.flows = true;
+    config.flow_capacity = n;
+    return config;
+  }
+  return fail("expected off|on|dump[:N]|flows[:N]");
 }
 
 ObsConfig obs_config_from_env() {

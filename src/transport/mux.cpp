@@ -6,6 +6,7 @@
 #include "fbdcsim/core/rng.h"
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/topology/path_delay.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/telemetry/timeseries.h"
 #include "fbdcsim/telemetry/tracepoint.h"
@@ -148,10 +149,24 @@ TcpConnection& TransportMux::ensure(const core::FiveTuple& tuple, core::HostId s
   ++stats_.connections_created;
   FBDCSIM_T_COUNTER(conns, "transport.connections", Sim);
   FBDCSIM_T_ADD(conns, 1);
+  if (flow_ledger_ != nullptr) {
+    // Per-direction feedback-loop RTTs match the substitution model: the
+    // out half's ACKs return after reply_delay, the in half's after one
+    // beyond-RSW leg plus the host turnaround. The NIC is the bottleneck
+    // (default port rate equals it), in bytes per second for ideal-FCT math.
+    flow_ledger_->on_birth(c.tag, sim_->now().count_nanos(), tuple,
+                           fleet_->host(self).role, fleet_->host(peer).role,
+                           fleet_->locality(self, peer), c.reply_delay.count_nanos(),
+                           (c.beyond + params_.host_delay).count_nanos(),
+                           params_.nic_rate.count_bits_per_sec() / 8);
+  }
   return c;
 }
 
 void TransportMux::release(TcpConnection& c) {
+  if (flow_ledger_ != nullptr) {
+    flow_ledger_->on_release(c.tag, sim_->now().count_nanos());
+  }
   const std::uint32_t idx = (c.tag >> 8) - 1;
   by_tuple_.erase(c.tuple);
   Slot& s = slots_[idx];
@@ -269,6 +284,9 @@ void TransportMux::app_close(const core::FiveTuple& tuple, core::HostId self,
 void TransportMux::establish(TcpConnection& c) {
   c.state = ConnState::kEstablished;
   c.hs_tries = 0;
+  if (flow_ledger_ != nullptr) {
+    flow_ledger_->on_established(c.tag, sim_->now().count_nanos());
+  }
   ++stats_.handshakes_completed;
   FBDCSIM_T_COUNTER(hs, "transport.handshakes", Sim);
   FBDCSIM_T_ADD(hs, 1);
@@ -285,6 +303,9 @@ void TransportMux::on_ctrl(std::uint32_t tag, Ctrl ctrl) {
     case Ctrl::kBeginOpen:
       if (c.state == ConnState::kClosed) {
         c.state = ConnState::kSynSent;
+        if (flow_ledger_ != nullptr) {
+          flow_ledger_->on_syn(c.tag, sim_->now().count_nanos());
+        }
         emit_now(c, Dir::kOut, 0, core::TcpFlags{.syn = true}, 0, 0);
         arm_hs(c);
       }
@@ -292,6 +313,9 @@ void TransportMux::on_ctrl(std::uint32_t tag, Ctrl ctrl) {
     case Ctrl::kBeginInbound:
       if (c.state == ConnState::kClosed) {
         c.state = ConnState::kSynReceived;
+        if (flow_ledger_ != nullptr) {
+          flow_ledger_->on_syn(c.tag, sim_->now().count_nanos());
+        }
         emit_now(c, Dir::kIn, 0, core::TcpFlags{.syn = true}, 0, 0);
         arm_hs(c);
       }
@@ -321,6 +345,10 @@ void TransportMux::on_demand(std::uint32_t tag, Dir dir, std::int64_t bytes,
   h.demand += bytes;
   h.pace_gap = std::max(pace_gap, Duration::nanos(0));
   stats_.bytes_demanded += bytes;
+  if (flow_ledger_ != nullptr) {
+    flow_ledger_->on_demand(tag, sim_->now().count_nanos(),
+                            static_cast<int>(dir), bytes);
+  }
   pump(*cp, dir);
 }
 
@@ -414,6 +442,12 @@ void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
     }
     FBDCSIM_T_COUNTER(rtx, "transport.retransmits", Sim);
     FBDCSIM_T_ADD(rtx, 1);
+    if (flow_ledger_ != nullptr) {
+      flow_ledger_->on_retransmit(c.tag, now.count_nanos(), static_cast<int>(dir), seq,
+                                  len,
+                                  h.in_recovery ? telemetry::FlowRtxKind::kDupack
+                                                : telemetry::FlowRtxKind::kRto);
+    }
   }
 
   const std::uint32_t tag = c.tag;
@@ -424,7 +458,14 @@ void TransportMux::send_segment(TcpConnection& c, Dir dir, std::int64_t seq,
     const Dir d = static_cast<Dir>(dir8);
     // Remote (in-half) senders sit beyond the RSW: forward-path loss means
     // the segment never reaches the rack at all.
-    if (d == Dir::kIn && path_lost(*cp)) return;
+    if (d == Dir::kIn && path_lost(*cp)) {
+      if (flow_ledger_ != nullptr) {
+        flow_ledger_->on_drop(tag, sim_->now().count_nanos(), 1, seq, len,
+                              telemetry::FlowDropCause::kPathLoss, 0, -1,
+                              telemetry::kFaultEpochPathLoss);
+      }
+      return;
+    }
     const bool psh = seq + len >= half(*cp, d).demand;
     emit_now(*cp, d, len, core::TcpFlags{.ack = true, .psh = psh}, seq, 0);
   });
@@ -464,6 +505,10 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
         ++stats_.dctcp_cwnd_reductions;
         FBDCSIM_T_COUNTER(reductions, "transport.dctcp_reductions", Sim);
         FBDCSIM_T_ADD(reductions, 1);
+        if (flow_ledger_ != nullptr) {
+          flow_ledger_->on_ecn_reduction(c.tag, sim_->now().count_nanos(),
+                                         static_cast<int>(dir), h.cwnd);
+        }
       }
     }
     h.snd_una = ackno;
@@ -479,6 +524,10 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
         h.cwnd = std::max(mss, std::min(h.ssthresh, params_.max_cwnd.count_bytes()));
         FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), FastRtxExit, c.tag,
                              h.cwnd, 0);
+        if (flow_ledger_ != nullptr) {
+          flow_ledger_->on_recovery_exit(c.tag, sim_->now().count_nanos(),
+                                         static_cast<int>(dir));
+        }
       } else if (!sack) {
         // NewReno partial ACK: retransmit the next hole, stay in recovery.
         h.rtx_next = ackno;
@@ -505,6 +554,12 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
       h.ce_window_end = h.snd_nxt;
       h.cwnd_reduced_this_window = false;
     }
+    if (flow_ledger_ != nullptr) {
+      // After the recovery bookkeeping above, so an episode exit on this
+      // ACK lands before the transfer it belongs to closes.
+      flow_ledger_->on_acked(c.tag, sim_->now().count_nanos(), static_cast<int>(dir),
+                             h.snd_una);
+    }
     FBDCSIM_T_HISTOGRAM(cwnd_hist, "transport.cwnd", Sim);
     FBDCSIM_T_OBSERVE(cwnd_hist, h.cwnd / mss);
   } else if (ackno == h.snd_una && h.inflight() > 0) {
@@ -525,6 +580,12 @@ void TransportMux::on_ack_at_sender(TcpConnection& c, Dir dir, std::int64_t ackn
       FBDCSIM_T_ADD(fast, 1);
       FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), FastRtxEnter, c.tag,
                            h.ssthresh, h.inflight());
+      if (flow_ledger_ != nullptr) {
+        flow_ledger_->on_recovery_enter(c.tag, sim_->now().count_nanos(),
+                                        static_cast<int>(dir),
+                                        sack ? telemetry::FlowEpisodeKind::kSackRecovery
+                                             : telemetry::FlowEpisodeKind::kFastRecovery);
+      }
       if (sack) {
         // The fast retransmit itself is unconditional — sack_pipe gates
         // only the rest of the episode (mirrors NewReno's rtx_next mark).
@@ -629,6 +690,10 @@ void TransportMux::on_rto_event(std::uint32_t tag, Dir dir) {
   FBDCSIM_T_ADD(rto, 1);
   FBDCSIM_T_TRACEPOINT(trace_log_, sim_->now().count_nanos(), RtoFired, c.tag, h.cwnd,
                        h.backoff);
+  if (flow_ledger_ != nullptr) {
+    flow_ledger_->on_rto(c.tag, sim_->now().count_nanos(), static_cast<int>(dir),
+                         h.backoff);
+  }
   arm_rto(c, dir);
   pump(c, dir);
 }
@@ -679,11 +744,17 @@ void TransportMux::on_hs_event(std::uint32_t tag) {
                        c.hs_tries, static_cast<std::int64_t>(c.state));
   switch (c.state) {
     case ConnState::kSynSent:
+      if (flow_ledger_ != nullptr) {
+        flow_ledger_->on_syn(c.tag, sim_->now().count_nanos());
+      }
       emit_now(c, Dir::kOut, 0, core::TcpFlags{.syn = true}, 0, 0);
       break;
     case ConnState::kSynReceived:
       // Covers both a lost peer SYN and a lost SYN-ACK: replaying the SYN
       // re-triggers our SYN-ACK on delivery.
+      if (flow_ledger_ != nullptr) {
+        flow_ledger_->on_syn(c.tag, sim_->now().count_nanos());
+      }
       emit_now(c, Dir::kIn, 0, core::TcpFlags{.syn = true}, 0, 0);
       break;
     case ConnState::kFinWait:
@@ -764,7 +835,13 @@ void TransportMux::on_delivered(const core::SimPacket& pkt) {
     if (wire == Dir::kOut) {
       // Out-half data at RSW egress: beyond-RSW loss, then the synthetic
       // far receiver.
-      if (!path_lost(c)) on_data_at_receiver(c, Dir::kOut, seq, payload, f.psh, ce);
+      if (!path_lost(c)) {
+        on_data_at_receiver(c, Dir::kOut, seq, payload, f.psh, ce);
+      } else if (flow_ledger_ != nullptr) {
+        flow_ledger_->on_drop(c.tag, sim_->now().count_nanos(), 0, seq, payload,
+                              telemetry::FlowDropCause::kPathLoss, 0, -1,
+                              telemetry::kFaultEpochPathLoss);
+      }
     } else {
       on_data_at_receiver(c, Dir::kIn, seq, payload, f.psh, ce);
     }
@@ -795,7 +872,7 @@ void TransportMux::on_delivered(const core::SimPacket& pkt) {
   }
 }
 
-void TransportMux::on_dropped(const core::SimPacket& pkt) {
+void TransportMux::on_dropped(std::size_t port, const core::SimPacket& pkt) {
   if (pkt.flow_tag == 0) return;
   ++stats_.switch_drop_notifications;
   FBDCSIM_T_COUNTER(drops, "transport.switch_drops", Sim);
@@ -804,6 +881,13 @@ void TransportMux::on_dropped(const core::SimPacket& pkt) {
   if (cp == nullptr || pkt.header.payload_bytes <= 0) return;
   const Dir dir = pkt.src == cp->self ? Dir::kOut : Dir::kIn;
   ++half(*cp, dir).switch_dropped_segments;
+  if (flow_ledger_ != nullptr) {
+    flow_ledger_->on_drop(pkt.flow_tag, sim_->now().count_nanos(),
+                          static_cast<int>(dir), static_cast<std::int64_t>(pkt.seq),
+                          pkt.header.payload_bytes,
+                          telemetry::FlowDropCause::kSwitchBuffer, ledger_switch_id_,
+                          static_cast<std::int32_t>(port), switch_drop_fault_epoch_);
+  }
 }
 
 }  // namespace fbdcsim::transport

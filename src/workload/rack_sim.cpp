@@ -97,14 +97,27 @@ RackSimulation::RackSimulation(const topology::Fleet& fleet, RackSimConfig confi
   if (config_.transport == Transport::kTcp) {
     transport_ = std::make_unique<transport::TransportMux>(
         sim_, fleet, *this, config_.tcp, config_.faults, config_.seed);
-    rsw_->set_drop_hook([this](std::size_t, const SimPacket& packet) {
-      transport_->on_dropped(packet);
+    rsw_->set_drop_hook([this](std::size_t port, const SimPacket& packet) {
+      transport_->on_dropped(port, packet);
     });
   }
   if (tracepoints_) {
     rsw_->set_trace_log(tracepoints_.get());
     if (transport_) transport_->set_trace_log(tracepoints_.get());
   }
+#if FBDCSIM_TELEMETRY_ENABLED
+  // FBDCSIM_OBS=flows: the per-flow causal ledger. TCP mode only — scripted
+  // packets have no transport lifecycle to record. Switch-drop attributions
+  // carry the rack id and, when the fault plan shrank the shared buffer at
+  // t=0, the epoch code that names that decision as the standing cause.
+  if (config_.obs.enabled() && config_.obs.flows && telemetry::Telemetry::enabled() &&
+      transport_) {
+    flow_ledger_ = std::make_unique<telemetry::FlowLedger>(config_.monitored_host.value(),
+                                                           config_.obs.flow_capacity);
+    transport_->set_flow_ledger(flow_ledger_.get(), rack_.value(),
+                                shrink < 1.0 ? telemetry::kFaultEpochBufferShrunk : -1);
+  }
+#endif
   if (probe_) {
     rsw_->register_probes(*probe_);
     if (transport_) {
@@ -293,6 +306,12 @@ RackSimResult RackSimulation::run() {
   if (tracepoints_) {
     result.tracepoints = tracepoints_->snapshot();
     if (config_.obs.mode == telemetry::ObsConfig::Mode::kDump) tracepoints_->dump(stderr);
+  }
+  if (flow_ledger_) {
+    // Close still-open transfers (completed_ns = -1) so every birth the run
+    // observed is accounted for, then snapshot oldest-first.
+    flow_ledger_->finalize(sim_.now().count_nanos());
+    result.flows = flow_ledger_->snapshot();
   }
   return result;
 }

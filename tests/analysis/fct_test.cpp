@@ -1,0 +1,139 @@
+// FctTable laws: bucket edges, completed/incomplete accounting, the
+// role/overall merges, and the deterministic JSON shape the bench reports
+// and aggregate_reports.py consume.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/analysis/fct.h"
+#include "fbdcsim/core/flow.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
+
+namespace fbdcsim::analysis {
+namespace {
+
+telemetry::FlowLedgerRecord make_record(core::HostRole role, core::Locality locality,
+                                        std::int64_t bytes, std::int64_t fct_ns,
+                                        std::int64_t ideal_ns) {
+  telemetry::FlowLedgerRecord r;
+  r.role = role;
+  r.locality = locality;
+  r.bytes = bytes;
+  r.start_ns = 1'000;
+  r.completed_ns = fct_ns >= 0 ? 1'000 + fct_ns : -1;
+  r.ideal_ns = ideal_ns;
+  return r;
+}
+
+TEST(Fct, SizeBucketEdges) {
+  EXPECT_EQ(fct_size_bucket(0), 0);
+  EXPECT_EQ(fct_size_bucket(4'096), 0);
+  EXPECT_EQ(fct_size_bucket(4'097), 1);
+  EXPECT_EQ(fct_size_bucket(65'536), 1);
+  EXPECT_EQ(fct_size_bucket(65'537), 2);
+  EXPECT_EQ(fct_size_bucket(1'048'576), 2);
+  EXPECT_EQ(fct_size_bucket(1'048'577), 3);
+  EXPECT_EQ(std::string{fct_size_bucket_name(0)}, "le4k");
+  EXPECT_EQ(std::string{fct_size_bucket_name(1)}, "le64k");
+  EXPECT_EQ(std::string{fct_size_bucket_name(2)}, "le1m");
+  EXPECT_EQ(std::string{fct_size_bucket_name(3)}, "gt1m");
+}
+
+TEST(Fct, AddRoutesToCellAndIncompleteContributesNoSamples) {
+  FctTable table;
+  // 10 us FCT against a 5 us ideal: slowdown exactly 2.
+  table.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000,
+                        10'000, 5'000));
+  table.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000, -1,
+                        5'000));  // incomplete
+  EXPECT_EQ(table.completed(), 1);
+  EXPECT_EQ(table.incomplete(), 1);
+
+  const FctCell& cell =
+      table.cell(core::HostRole::kWeb, core::Locality::kIntraRack, 0);
+  EXPECT_EQ(cell.count, 1);
+  EXPECT_EQ(cell.bytes, 1'000);
+  EXPECT_DOUBLE_EQ(cell.fct_us.quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(cell.slowdown.quantile(0.50), 2.0);
+  // Nothing leaked into a neighboring cell.
+  EXPECT_EQ(table.cell(core::HostRole::kWeb, core::Locality::kIntraRack, 1).count, 0);
+  EXPECT_EQ(table.cell(core::HostRole::kHadoop, core::Locality::kIntraRack, 0).count, 0);
+}
+
+TEST(Fct, RoleCellAndOverallMergeAcrossCells) {
+  FctTable table;
+  table.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000,
+                        10'000, 5'000));
+  table.add(make_record(core::HostRole::kWeb, core::Locality::kIntraCluster,
+                        100'000, 40'000, 10'000));  // bucket 2, slowdown 4
+  table.add(make_record(core::HostRole::kHadoop, core::Locality::kIntraRack,
+                        2'000'000, 90'000, 30'000));  // slowdown 3
+
+  FctCell web = table.role_cell(core::HostRole::kWeb);
+  EXPECT_EQ(web.count, 2);
+  EXPECT_EQ(web.bytes, 101'000);
+  EXPECT_DOUBLE_EQ(web.slowdown.quantile(1.0), 4.0);
+
+  FctCell all = table.overall();
+  EXPECT_EQ(all.count, 3);
+  EXPECT_DOUBLE_EQ(all.slowdown.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(all.slowdown.quantile(1.0), 4.0);
+}
+
+TEST(Fct, ToJsonShapeAndDeterminism) {
+  FctTable table;
+  table.add(make_record(core::HostRole::kHadoop, core::Locality::kIntraRack,
+                        2'000'000, 90'000, 30'000));
+  table.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000,
+                        10'000, 5'000));
+  table.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000, -1, 0));
+  const std::string json = table.to_json();
+  // Counts, fixed-order cells (Web's role index precedes Hadoop's), and
+  // both quantile blocks per cell.
+  EXPECT_NE(json.find("\"completed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"incomplete\":1"), std::string::npos);
+  const auto web_pos = json.find("\"role\":\"Web\"");
+  const auto hadoop_pos = json.find("\"role\":\"Hadoop\"");
+  ASSERT_NE(web_pos, std::string::npos);
+  ASSERT_NE(hadoop_pos, std::string::npos);
+  EXPECT_LT(web_pos, hadoop_pos);
+  EXPECT_NE(json.find("\"bucket\":\"le4k\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket\":\"gt1m\""), std::string::npos);
+  EXPECT_NE(json.find("\"fct_us\":{\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"slowdown\":{\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  // Empty cells are skipped: only the two populated cells appear.
+  std::size_t cells = 0;
+  for (std::size_t p = json.find("\"role\":"); p != std::string::npos;
+       p = json.find("\"role\":", p + 1)) {
+    ++cells;
+  }
+  EXPECT_EQ(cells, 2u);
+  // Byte-determinism: identical inputs render identical bytes.
+  FctTable again;
+  again.add(make_record(core::HostRole::kHadoop, core::Locality::kIntraRack,
+                        2'000'000, 90'000, 30'000));
+  again.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000,
+                        10'000, 5'000));
+  again.add(make_record(core::HostRole::kWeb, core::Locality::kIntraRack, 1'000, -1, 0));
+  EXPECT_EQ(again.to_json(), json);
+}
+
+TEST(Fct, AddAllMatchesSequentialAdds) {
+  std::vector<telemetry::FlowLedgerRecord> records;
+  for (int i = 1; i <= 5; ++i) {
+    records.push_back(make_record(core::HostRole::kSlb, core::Locality::kIntraDatacenter,
+                                  i * 10'000, i * 1'000, 1'000));
+  }
+  FctTable a;
+  a.add_all(records);
+  FctTable b;
+  for (const auto& r : records) b.add(r);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.completed(), 5);
+}
+
+}  // namespace
+}  // namespace fbdcsim::analysis

@@ -210,6 +210,27 @@ TEST(ObsEnvFuzzTest, ValidSpecsParse) {
   auto max = telemetry::parse_obs_spec("dump:1048576", &error);
   ASSERT_TRUE(max.has_value());
   EXPECT_EQ(max->flight_recorder, 1048576u);
+
+  // The flows level: `on` semantics plus the per-flow ledger.
+  auto flows = telemetry::parse_obs_spec("flows", &error);
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_EQ(flows->mode, telemetry::ObsConfig::Mode::kOn);
+  EXPECT_TRUE(flows->enabled());
+  EXPECT_TRUE(flows->flows);
+  EXPECT_EQ(flows->flow_capacity, 4096u);  // default ring size
+
+  auto flows_sized = telemetry::parse_obs_spec("flows:64", &error);
+  ASSERT_TRUE(flows_sized.has_value());
+  EXPECT_TRUE(flows_sized->flows);
+  EXPECT_EQ(flows_sized->flow_capacity, 64u);
+
+  auto flows_max = telemetry::parse_obs_spec("flows:1048576", &error);
+  ASSERT_TRUE(flows_max.has_value());
+  EXPECT_EQ(flows_max->flow_capacity, 1048576u);
+
+  // The plain levels never switch the ledger on.
+  EXPECT_FALSE(on->flows);
+  EXPECT_FALSE(dump->flows);
 }
 
 TEST(ObsEnvFuzzTest, MalformedSpecsAreRejectedWithAReason) {
@@ -217,7 +238,10 @@ TEST(ObsEnvFuzzTest, MalformedSpecsAreRejectedWithAReason) {
       "",       " ",        "ON",       "Off",     "Dump",      "on ",
       " on",    "dump:",    "dump:0",   "dump:-1", "dump:abc",  "dump:1.5",
       "dump:1048577",       "dump:99999999999999999999",        "dumpling",
-      "on,dump", "off;on",  "dump:64:128", "\n",   "on\n"};
+      "on,dump", "off;on",  "dump:64:128", "\n",   "on\n",
+      "flows:",  "flows:0", "flows:-1",    "flows:abc", "flows:1.5",
+      "flows:1048577",      "flows:99999999999999999999",       "Flows",
+      "FLOWS",   "flows 64", " flows",     "flows:64:128", "flowses"};
   for (const char* spec : bad) {
     std::string error;
     EXPECT_EQ(telemetry::parse_obs_spec(spec, &error), std::nullopt)
@@ -231,15 +255,23 @@ TEST(ObsEnvFuzzTest, MalformedSpecsAreRejectedWithAReason) {
 TEST(ObsEnvFuzzTest, EnvResolutionFallsBackToOffAndNeverCrashes) {
   EnvVarGuard guard{"FBDCSIM_OBS"};
   EXPECT_FALSE(telemetry::obs_config_from_env().enabled());  // unset
-  for (const char* bad : {"", "garbage", "ON", "dump:0", "dump:abc", "½"}) {
+  for (const char* bad :
+       {"", "garbage", "ON", "dump:0", "dump:abc", "½", "flows:0", "flows:abc",
+        "Flows", "flows "}) {
     guard.set(bad);
     const telemetry::ObsConfig cfg = telemetry::obs_config_from_env();
     EXPECT_EQ(cfg.mode, telemetry::ObsConfig::Mode::kOff) << "'" << bad << "'";
+    EXPECT_FALSE(cfg.flows) << "'" << bad << "'";
   }
   guard.set("dump:32");
   const telemetry::ObsConfig cfg = telemetry::obs_config_from_env();
   EXPECT_EQ(cfg.mode, telemetry::ObsConfig::Mode::kDump);
   EXPECT_EQ(cfg.flight_recorder, 32u);
+  guard.set("flows:32");
+  const telemetry::ObsConfig fcfg = telemetry::obs_config_from_env();
+  EXPECT_EQ(fcfg.mode, telemetry::ObsConfig::Mode::kOn);
+  EXPECT_TRUE(fcfg.flows);
+  EXPECT_EQ(fcfg.flow_capacity, 32u);
 }
 
 TEST(ObsEnvFuzzTest, BenchEnvResolvesObsOncePerEnv) {

@@ -19,6 +19,7 @@
 #include "fbdcsim/core/time.h"
 #include "fbdcsim/services/traffic_model.h"
 #include "fbdcsim/sim/simulator.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
 #include "fbdcsim/topology/entities.h"
 #include "fbdcsim/transport/mux.h"
 #include "fbdcsim/transport/params.h"
@@ -46,6 +47,10 @@ class ScriptedLossSink final : public services::TrafficSink {
   std::int64_t mss{0};
   ScriptedDrop drop;
   std::int64_t target_bytes{0};  // completion is when delivery reaches this
+  /// Optional flow ledger: scripted drops stay silent toward the mux but
+  /// are recorded as FlowDropCause::kScripted, so the attribution tests can
+  /// pin a known drop to the retransmission that repairs it.
+  telemetry::FlowLedger* ledger{nullptr};
 
   std::int64_t dropped_frames{0};
   std::int64_t data_frames{0};
@@ -59,6 +64,12 @@ class ScriptedLossSink final : public services::TrafficSink {
       const int attempt = ++attempts_[packet.seq];
       if (drop && drop(packet.seq / mss, attempt)) {
         ++dropped_frames;
+        if (ledger != nullptr) {
+          ledger->on_drop(packet.flow_tag, sim->now().count_nanos(), /*dir=*/0,
+                          packet.seq, packet.header.payload_bytes,
+                          telemetry::FlowDropCause::kScripted, /*switch_id=*/0,
+                          /*port=*/-1, /*fault_epoch=*/-1);
+        }
         return;  // silent: the sender only finds out via ACKs or the RTO
       }
     }
@@ -97,7 +108,8 @@ struct ScenarioOutcome {
 inline ScenarioOutcome run_loss_scenario(transport::LossRecovery recovery,
                                          std::int64_t segments, ScriptedDrop drop,
                                          core::Duration horizon = core::Duration::seconds(10),
-                                         int window_segments = 9) {
+                                         int window_segments = 9,
+                                         telemetry::FlowLedger* ledger = nullptr) {
   const topology::Fleet fleet = workload::build_rack_experiment_fleet();
   sim::Simulator sim;
   ScriptedLossSink sink;
@@ -106,11 +118,13 @@ inline ScenarioOutcome run_loss_scenario(transport::LossRecovery recovery,
   params.max_cwnd = core::DataSize::bytes(window_segments * params.mss_bytes);
   params.initial_window_segments = window_segments;
   transport::TransportMux mux{sim, fleet, sink, params, /*faults=*/nullptr, /*seed=*/1};
+  if (ledger != nullptr) mux.set_flow_ledger(ledger);
   sink.sim = &sim;
   sink.mux = &mux;
   sink.mss = params.mss_bytes;
   sink.drop = std::move(drop);
   sink.target_bytes = segments * params.mss_bytes;
+  sink.ledger = ledger;
 
   const auto& hosts = fleet.rack(fleet.host(core::HostId{0}).rack).hosts;
   const core::HostId self = hosts[0];

@@ -1,0 +1,460 @@
+// FlowLedger law suite (DESIGN.md §14): the lifecycle/attribution engine
+// is driven directly through its hooks — no simulator — so every law is
+// pinned against hand-computable inputs, plus a randomized episode-law
+// property sweep. The JSONL writer/parser round-trip lives here too.
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fbdcsim/core/addr.h"
+#include "fbdcsim/core/ids.h"
+#include "fbdcsim/core/packet.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
+#include "fbdcsim/telemetry/tracepoint.h"
+
+namespace fbdcsim::telemetry {
+namespace {
+
+core::FiveTuple test_tuple(std::uint16_t src_port = 40'000) {
+  return core::FiveTuple{core::Ipv4Addr{10, 0, 0, 1}, core::Ipv4Addr{10, 0, 0, 2},
+                         src_port, 11'211, core::Protocol::kTcp};
+}
+
+/// Births a connection with round numbers: 10 us out-RTT, 20 us in-RTT,
+/// 1.25 GB/s bottleneck (10 Gb/s NIC).
+void birth(FlowLedger& ledger, std::uint32_t tag, std::int64_t t_ns = 1'000) {
+  ledger.on_birth(tag, t_ns, test_tuple(), core::HostRole::kCacheLeader,
+                  core::HostRole::kWeb, core::Locality::kIntraRack,
+                  /*rtt_out_ns=*/10'000, /*rtt_in_ns=*/20'000,
+                  /*bottleneck_bytes_per_sec=*/1'250'000'000);
+}
+
+TEST(FlowLedger, IdealFctExactArithmetic) {
+  // 1 MB at 1.25 GB/s is exactly 800 us of serialization + one RTT.
+  EXPECT_EQ(ideal_fct_ns(1'048'576, 10'000, 1'250'000'000),
+            10'000 + 1'048'576LL * 1'000'000'000 / 1'250'000'000);
+  // Degenerate inputs fall back to the RTT floor.
+  EXPECT_EQ(ideal_fct_ns(0, 10'000, 1'250'000'000), 10'000);
+  EXPECT_EQ(ideal_fct_ns(-5, 10'000, 1'250'000'000), 10'000);
+  EXPECT_EQ(ideal_fct_ns(1'000, 10'000, 0), 10'000);
+  // Large transfers must not overflow 64-bit intermediate math: 1 TiB at
+  // 1.25 GB/s is bytes * 0.8 ns, exactly.
+  EXPECT_EQ(ideal_fct_ns(std::int64_t{1} << 40, 0, 1'250'000'000),
+            (std::int64_t{1} << 40) / 5 * 4);
+}
+
+TEST(FlowLedger, TransferLifecycleClosesOnFullAck) {
+  FlowLedger ledger{/*source_id=*/7, /*capacity=*/8};
+  birth(ledger, 0x101, /*t_ns=*/1'000);
+  ledger.on_syn(0x101, 1'000);
+  ledger.on_established(0x101, 11'000);
+  ledger.on_demand(0x101, 20'000, /*dir=*/0, /*bytes=*/4'096);
+  EXPECT_EQ(ledger.live_transfers(), 1);
+  ledger.on_acked(0x101, 25'000, 0, /*snd_una=*/1'000);  // partial: stays open
+  EXPECT_EQ(ledger.total_closed(), 0);
+  ledger.on_acked(0x101, 30'000, 0, /*snd_una=*/4'096);
+  EXPECT_EQ(ledger.total_closed(), 1);
+  EXPECT_EQ(ledger.live_transfers(), 0);
+
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 1u);
+  const FlowLedgerRecord& r = dump.records[0];
+  EXPECT_EQ(r.flow_tag, 0x101u);
+  EXPECT_EQ(r.dir, 0);
+  EXPECT_EQ(r.role, core::HostRole::kCacheLeader);
+  EXPECT_EQ(r.peer_role, core::HostRole::kWeb);
+  EXPECT_EQ(r.locality, core::Locality::kIntraRack);
+  EXPECT_EQ(r.conn_born_ns, 1'000);
+  EXPECT_EQ(r.syn_sends, 1);
+  EXPECT_EQ(r.established_ns, 11'000);
+  EXPECT_EQ(r.start_ns, 20'000);
+  EXPECT_EQ(r.completed_ns, 30'000);
+  EXPECT_EQ(r.bytes, 4'096);
+  EXPECT_EQ(r.rtt_ns, 10'000);  // dir 0 takes the out-RTT
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.fct_ns(), 10'000);
+  EXPECT_EQ(r.ideal_ns, ideal_fct_ns(4'096, 10'000, 1'250'000'000));
+  EXPECT_GT(r.slowdown(), 0.0);
+}
+
+TEST(FlowLedger, InboundHalfUsesInRttAndOwnSequenceSpace) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 5);
+  ledger.on_demand(5, 2'000, /*dir=*/1, 1'000);
+  ledger.on_acked(5, 9'000, /*dir=*/1, 1'000);
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 1u);
+  EXPECT_EQ(dump.records[0].dir, 1);
+  EXPECT_EQ(dump.records[0].rtt_ns, 20'000);
+}
+
+TEST(FlowLedger, PipelinedDemandExtendsOpenTransfer) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 9);
+  ledger.on_demand(9, 2'000, 0, 1'000);
+  ledger.on_demand(9, 3'000, 0, 500);  // arrives before the first closes
+  ledger.on_acked(9, 4'000, 0, 1'000);  // acks only the first burst: open
+  EXPECT_EQ(ledger.total_closed(), 0);
+  ledger.on_acked(9, 5'000, 0, 1'500);
+  EXPECT_EQ(ledger.total_closed(), 1);
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 1u);
+  EXPECT_EQ(dump.records[0].bytes, 1'500);
+  EXPECT_EQ(dump.records[0].start_ns, 2'000);
+}
+
+TEST(FlowLedger, SequentialBurstsGetSeparateMonotoneRecords) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 9);
+  ledger.on_demand(9, 2'000, 0, 100);
+  ledger.on_acked(9, 3'000, 0, 100);
+  ledger.on_demand(9, 10'000, 0, 200);  // after close: a fresh transfer
+  ledger.on_acked(9, 11'000, 0, 300);   // snd_una is cumulative on the stream
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 2u);
+  EXPECT_EQ(dump.records[0].bytes, 100);
+  EXPECT_EQ(dump.records[1].bytes, 200);
+  EXPECT_LT(dump.records[0].id, dump.records[1].id);
+  EXPECT_EQ(dump.records[1].start_ns, 10'000);
+}
+
+TEST(FlowLedger, ReleaseClosesOpenTransfersAsIncomplete) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 3);
+  ledger.on_demand(3, 2'000, 0, 1'000);
+  ledger.on_demand(3, 2'000, 1, 500);
+  ledger.on_release(3, 50'000);
+  EXPECT_EQ(ledger.total_closed(), 2);
+  EXPECT_EQ(ledger.live_transfers(), 0);
+  for (const FlowLedgerRecord& r : ledger.snapshot().records) {
+    EXPECT_FALSE(r.completed());
+    EXPECT_EQ(r.fct_ns(), -1);
+    EXPECT_EQ(r.slowdown(), 0.0);
+  }
+  // The tag is forgotten: later events on it are strays, not crashes.
+  ledger.on_acked(3, 60'000, 0, 2'000);
+  ledger.on_drop(3, 60'000, 0, 0, 100, FlowDropCause::kPathLoss, 0, -1,
+                 kFaultEpochPathLoss);
+  EXPECT_EQ(ledger.stray_events(), 1);  // the drop; acked on dead tag is benign
+}
+
+TEST(FlowLedger, FinalizeFlushesInConnectionCreationOrder) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 20);
+  birth(ledger, 10);  // born second despite the smaller tag
+  ledger.on_demand(10, 2'000, 0, 100);
+  ledger.on_demand(20, 1'000, 0, 100);
+  ledger.finalize(99'000);
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 2u);
+  EXPECT_EQ(dump.records[0].flow_tag, 20u);  // creation order, not tag order
+  EXPECT_EQ(dump.records[1].flow_tag, 10u);
+  EXPECT_FALSE(dump.records[0].completed());
+}
+
+TEST(FlowLedger, EventsWithoutOpenTransferCountAsStray) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 4);  // live conn, but no demand yet -> no open transfer
+  ledger.on_drop(4, 1'000, 0, 0, 100, FlowDropCause::kSwitchBuffer, 3, 2, -1);
+  ledger.on_retransmit(4, 2'000, 0, 0, 100, FlowRtxKind::kDupack);
+  ledger.on_drop(99, 3'000, 0, 0, 100, FlowDropCause::kScripted, 0, -1, -1);
+  EXPECT_EQ(ledger.stray_events(), 3);
+  EXPECT_EQ(ledger.total_closed(), 0);
+}
+
+TEST(LedgerAttribution, RetransmissionClaimsEarliestOverlappingDrop) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 6);
+  ledger.on_demand(6, 2'000, 0, 10'000);
+  // Two drops of the same segment (original + lost retransmission), then a
+  // drop of a later segment.
+  ledger.on_drop(6, 3'000, 0, 0, 1'000, FlowDropCause::kSwitchBuffer, 42, 5,
+                 kFaultEpochBufferShrunk);
+  ledger.on_drop(6, 4'000, 0, 0, 1'000, FlowDropCause::kPathLoss, 0, -1,
+                 kFaultEpochPathLoss);
+  ledger.on_drop(6, 5'000, 0, 2'000, 1'000, FlowDropCause::kScripted, 0, -1, -1);
+  // First repair of [0,1000) claims the EARLIEST unclaimed overlap; the
+  // second claims the next; the third repair has nothing left to claim.
+  ledger.on_retransmit(6, 6'000, 0, 0, 1'000, FlowRtxKind::kDupack);
+  ledger.on_retransmit(6, 7'000, 0, 0, 1'000, FlowRtxKind::kDupack);
+  ledger.on_retransmit(6, 8'000, 0, 0, 1'000, FlowRtxKind::kDupack);
+  ledger.on_acked(6, 9'000, 0, 10'000);
+
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 1u);
+  const FlowLedgerRecord& r = dump.records[0];
+  ASSERT_EQ(r.drop_count, 3u);
+  ASSERT_EQ(r.rtx_count, 3u);
+  EXPECT_EQ(r.rtxs[0].cause_id, r.drops[0].id);
+  EXPECT_EQ(r.rtxs[1].cause_id, r.drops[1].id);
+  EXPECT_EQ(r.rtxs[2].cause_id, -1);  // both overlapping drops already claimed
+  EXPECT_TRUE(r.drops[0].claimed);
+  EXPECT_TRUE(r.drops[1].claimed);
+  EXPECT_FALSE(r.drops[2].claimed);  // [2000,3000) was never retransmitted
+  EXPECT_EQ(r.drops[0].switch_id, 42u);
+  EXPECT_EQ(r.drops[0].port, 5);
+  EXPECT_EQ(r.drops[0].fault_epoch, kFaultEpochBufferShrunk);
+  EXPECT_EQ(r.drops[1].fault_epoch, kFaultEpochPathLoss);
+  EXPECT_EQ(r.rtx_bytes, 3'000);
+  EXPECT_EQ(r.drops_total, 3);
+  EXPECT_EQ(r.rtx_total, 3);
+}
+
+TEST(LedgerAttribution, RtoStreamInheritsPinnedCause) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 6);
+  ledger.on_demand(6, 2'000, 0, 10'000);
+  ledger.on_acked(6, 2'500, 0, 1'000);  // snd_una = 1000
+  // The drop that stalls the window covers snd_una.
+  ledger.on_drop(6, 3'000, 0, 1'000, 1'000, FlowDropCause::kScripted, 0, -1, -1);
+  ledger.on_rto(6, 203'000, 0, /*backoff=*/1);
+  // Go-back-N: the first resend overlaps the drop and claims it directly;
+  // later segments in the RTO stream don't overlap but inherit the pinned
+  // cause — the timeout they ride on was caused by that drop.
+  ledger.on_retransmit(6, 203'001, 0, 1'000, 1'000, FlowRtxKind::kRto);
+  ledger.on_retransmit(6, 203'002, 0, 2'000, 1'000, FlowRtxKind::kRto);
+
+  const FlowLedgerDump dump = [&] {
+    ledger.finalize(300'000);
+    return ledger.snapshot();
+  }();
+  ASSERT_EQ(dump.records.size(), 1u);
+  const FlowLedgerRecord& r = dump.records[0];
+  ASSERT_EQ(r.drop_count, 1u);
+  ASSERT_EQ(r.rtx_count, 2u);
+  EXPECT_EQ(r.rtxs[0].cause_id, r.drops[0].id);
+  EXPECT_EQ(r.rtxs[1].cause_id, r.drops[0].id);  // inherited, no overlap
+  EXPECT_EQ(r.rtxs[1].kind, FlowRtxKind::kRto);
+  EXPECT_EQ(r.rto_count, 1);
+  // The RTO leaves a point episode carrying the backoff step.
+  ASSERT_EQ(r.episode_count, 1u);
+  EXPECT_EQ(r.episodes[0].kind, FlowEpisodeKind::kRto);
+  EXPECT_EQ(r.episodes[0].start_ns, r.episodes[0].end_ns);
+  EXPECT_EQ(r.episodes[0].detail, 1);
+}
+
+TEST(LedgerAttribution, DropIdsStayMonotoneUnderRingEviction) {
+  // Capacity 2: five transfers close, three are evicted. Attribution ids
+  // must be ledger-wide and never renumbered, so the survivors' ids are
+  // exactly 4 and 5 and each retransmission still references its own drop.
+  FlowLedger ledger{1, /*capacity=*/2};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const std::uint32_t tag = 100 + i;
+    birth(ledger, tag, /*t_ns=*/i * 10'000);
+    ledger.on_demand(tag, i * 10'000 + 1, 0, 1'000);
+    ledger.on_drop(tag, i * 10'000 + 2, 0, 0, 1'000, FlowDropCause::kScripted, 0,
+                   -1, -1);
+    ledger.on_retransmit(tag, i * 10'000 + 3, 0, 0, 1'000, FlowRtxKind::kDupack);
+    ledger.on_acked(tag, i * 10'000 + 4, 0, 1'000);
+  }
+  EXPECT_EQ(ledger.total_closed(), 5);
+  const FlowLedgerDump dump = ledger.snapshot();
+  EXPECT_EQ(dump.total, 5);
+  ASSERT_EQ(dump.records.size(), 2u);  // ring kept the newest two, oldest-first
+  ASSERT_EQ(dump.records[0].drop_count, 1u);
+  ASSERT_EQ(dump.records[1].drop_count, 1u);
+  EXPECT_EQ(dump.records[0].drops[0].id, 4);
+  EXPECT_EQ(dump.records[1].drops[0].id, 5);
+  EXPECT_EQ(dump.records[0].rtxs[0].cause_id, 4);
+  EXPECT_EQ(dump.records[1].rtxs[0].cause_id, 5);
+  EXPECT_EQ(dump.records[0].flow_tag, 103u);
+  EXPECT_EQ(dump.records[1].flow_tag, 104u);
+}
+
+TEST(LedgerAttribution, DropIdsAllocatedEvenWhenArrayOverflows) {
+  FlowLedger ledger{1, 4};
+  birth(ledger, 2);
+  ledger.on_demand(2, 1'000, 0, 100'000);
+  for (int i = 0; i < static_cast<int>(kFlowMaxDrops) + 3; ++i) {
+    ledger.on_drop(2, 2'000 + i, 0, i * 1'000, 1'000, FlowDropCause::kScripted, 0,
+                   -1, -1);
+  }
+  birth(ledger, 3);
+  ledger.on_demand(3, 9'000, 0, 100);
+  ledger.on_drop(3, 9'500, 0, 0, 100, FlowDropCause::kScripted, 0, -1, -1);
+  ledger.finalize(10'000);
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 2u);
+  const FlowLedgerRecord& a = dump.records[0];
+  EXPECT_EQ(a.drops_total, static_cast<std::int64_t>(kFlowMaxDrops) + 3);
+  EXPECT_EQ(a.drop_count, kFlowMaxDrops);  // array bounded, counter not
+  // The overflowed drops still consumed ids, so the next conn's drop id
+  // accounts for them — ids are allocation-order, never compacted.
+  ASSERT_EQ(dump.records[1].drop_count, 1u);
+  EXPECT_EQ(dump.records[1].drops[0].id,
+            static_cast<std::int64_t>(kFlowMaxDrops) + 3 + 1);
+}
+
+TEST(LedgerEpisodes, ReenterIsIgnoredAndRtoClosesOpenEpisode) {
+  FlowLedger ledger{1, 8};
+  birth(ledger, 2);
+  ledger.on_demand(2, 1'000, 0, 10'000);
+  ledger.on_recovery_enter(2, 2'000, 0, FlowEpisodeKind::kSackRecovery);
+  ledger.on_recovery_enter(2, 3'000, 0, FlowEpisodeKind::kFastRecovery);  // ignored
+  ledger.on_rto(2, 5'000, 0, 2);  // closes the open episode, adds its point
+  ledger.on_recovery_enter(2, 7'000, 0, FlowEpisodeKind::kFastRecovery);
+  ledger.on_recovery_exit(2, 8'000, 0);
+  ledger.on_ecn_reduction(2, 9'000, 0, 14'480);
+  ledger.on_acked(2, 10'000, 0, 10'000);
+
+  const FlowLedgerDump dump = ledger.snapshot();
+  ASSERT_EQ(dump.records.size(), 1u);
+  const FlowLedgerRecord& r = dump.records[0];
+  ASSERT_EQ(r.episode_count, 4u);
+  EXPECT_EQ(r.episodes[0].kind, FlowEpisodeKind::kSackRecovery);
+  EXPECT_EQ(r.episodes[0].start_ns, 2'000);
+  EXPECT_EQ(r.episodes[0].end_ns, 5'000);  // closed by the RTO
+  EXPECT_EQ(r.episodes[1].kind, FlowEpisodeKind::kRto);
+  EXPECT_EQ(r.episodes[1].start_ns, 5'000);
+  EXPECT_EQ(r.episodes[1].end_ns, 5'000);
+  EXPECT_EQ(r.episodes[2].kind, FlowEpisodeKind::kFastRecovery);
+  EXPECT_EQ(r.episodes[2].end_ns, 8'000);
+  EXPECT_EQ(r.episodes[3].kind, FlowEpisodeKind::kEcnReduction);
+  EXPECT_EQ(r.episodes[3].detail, 14'480);
+  EXPECT_EQ(r.ecn_reductions, 1);
+}
+
+/// xorshift-free deterministic LCG — no Date/random machinery, same
+/// sequence on every platform.
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() { return s = s * 6364136223846793005ULL + 1442695040888963407ULL; }
+  std::int64_t range(std::int64_t n) { return static_cast<std::int64_t>(next() >> 33) % n; }
+};
+
+TEST(LedgerEpisodes, PropertyIntervalEpisodesNeverOverlap) {
+  // Random enter/exit/rto/ecn storms: in every closed record, interval
+  // episodes (fast/sack recovery) must be well-formed and pairwise disjoint
+  // in time, points must have end == start, and at most the LAST interval
+  // may still be open (end == -1).
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Lcg rng{seed * 0x9E3779B97F4A7C15ULL};
+    FlowLedger ledger{1, 64};
+    birth(ledger, 8);
+    ledger.on_demand(8, 0, 0, 1'000'000);
+    std::int64_t t = 1;
+    for (int step = 0; step < 200; ++step) {
+      t += 1 + rng.range(1'000);
+      switch (rng.range(4)) {
+        case 0:
+          ledger.on_recovery_enter(8, t, 0,
+                                   rng.range(2) == 0 ? FlowEpisodeKind::kFastRecovery
+                                                     : FlowEpisodeKind::kSackRecovery);
+          break;
+        case 1: ledger.on_recovery_exit(8, t, 0); break;
+        case 2: ledger.on_rto(8, t, 0, rng.range(6)); break;
+        default: ledger.on_ecn_reduction(8, t, 0, rng.range(100'000)); break;
+      }
+    }
+    ledger.finalize(t + 1);
+    const FlowLedgerDump dump = ledger.snapshot();
+    ASSERT_EQ(dump.records.size(), 1u) << "seed " << seed;
+    const FlowLedgerRecord& r = dump.records[0];
+    std::int64_t prev_interval_end = -1;
+    for (std::size_t i = 0; i < r.episode_count; ++i) {
+      const FlowEpisode& e = r.episodes[i];
+      if (e.kind == FlowEpisodeKind::kRto || e.kind == FlowEpisodeKind::kEcnReduction) {
+        EXPECT_EQ(e.end_ns, e.start_ns) << "seed " << seed << " episode " << i;
+        continue;
+      }
+      // Interval: starts after the previous interval ended, and if open it
+      // must be the final interval in the record.
+      EXPECT_GE(e.start_ns, prev_interval_end) << "seed " << seed << " episode " << i;
+      if (e.end_ns >= 0) {
+        EXPECT_GE(e.end_ns, e.start_ns) << "seed " << seed << " episode " << i;
+        prev_interval_end = e.end_ns;
+      } else {
+        for (std::size_t j = i + 1; j < r.episode_count; ++j) {
+          EXPECT_NE(r.episodes[j].kind, FlowEpisodeKind::kFastRecovery)
+              << "seed " << seed;
+          EXPECT_NE(r.episodes[j].kind, FlowEpisodeKind::kSackRecovery)
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(FlowLedgerJsonl, RoundTripIsExact) {
+  FlowLedger ledger{/*source_id=*/12, 8};
+  birth(ledger, 0x101);
+  ledger.on_syn(0x101, 1'000);
+  ledger.on_established(0x101, 11'000);
+  ledger.on_demand(0x101, 20'000, 0, 4'096);
+  ledger.on_drop(0x101, 21'000, 0, 0, 1'448, FlowDropCause::kSwitchBuffer, 42, 3,
+                 kFaultEpochBufferShrunk);
+  ledger.on_recovery_enter(0x101, 22'000, 0, FlowEpisodeKind::kSackRecovery);
+  ledger.on_retransmit(0x101, 23'000, 0, 0, 1'448, FlowRtxKind::kDupack);
+  ledger.on_recovery_exit(0x101, 24'000, 0);
+  ledger.on_acked(0x101, 30'000, 0, 4'096);
+  ledger.on_demand(0x101, 40'000, 1, 512);  // incomplete inbound half
+  ledger.finalize(50'000);
+
+  const std::string text = flows_to_jsonl({ledger.snapshot()});
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  std::string error;
+  const auto parsed = flows_from_jsonl(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].source_id, 12u);
+  ASSERT_EQ((*parsed)[0].records.size(), 2u);
+  const FlowLedgerRecord& r = (*parsed)[0].records[0];
+  EXPECT_EQ(r.drops[0].cause, FlowDropCause::kSwitchBuffer);
+  EXPECT_TRUE(r.drops[0].claimed);
+  EXPECT_EQ(r.rtxs[0].cause_id, r.drops[0].id);
+  EXPECT_FALSE((*parsed)[0].records[1].completed());
+  // Writer(parser(s)) == s: the serialization is canonical.
+  EXPECT_EQ(flows_to_jsonl(*parsed), text);
+}
+
+TEST(FlowLedgerJsonl, MultiSourceDumpsSortBySourceId) {
+  FlowLedger a{/*source_id=*/30, 4};
+  FlowLedger b{/*source_id=*/4, 4};
+  for (FlowLedger* l : {&a, &b}) {
+    birth(*l, 1);
+    l->on_demand(1, 1'000, 0, 100);
+    l->on_acked(1, 2'000, 0, 100);
+  }
+  const std::string text = flows_to_jsonl({a.snapshot(), b.snapshot()});
+  const auto parsed = flows_from_jsonl(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].source_id, 4u);
+  EXPECT_EQ((*parsed)[1].source_id, 30u);
+  EXPECT_EQ(flows_to_jsonl(*parsed), text);
+}
+
+TEST(FlowLedgerJsonl, MalformedInputsRejectWithLineDiagnostics) {
+  std::string error;
+  // Missing trailing newline.
+  EXPECT_FALSE(flows_from_jsonl("{\"src\":1}", &error).has_value());
+  EXPECT_NE(error.find("missing trailing newline"), std::string::npos);
+  // Garbage line.
+  EXPECT_FALSE(flows_from_jsonl("not json\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  // Valid first line, garbage second: the diagnostic names line 2.
+  FlowLedger ledger{1, 4};
+  birth(ledger, 1);
+  ledger.on_demand(1, 1'000, 0, 100);
+  ledger.on_acked(1, 2'000, 0, 100);
+  std::string text = flows_to_jsonl({ledger.snapshot()});
+  EXPECT_FALSE(flows_from_jsonl(text + "{\"broken\":\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  // Empty input parses to an empty dump list.
+  const auto empty = flows_from_jsonl("", &error);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(FlowLedgerJsonl, EmptyDumpSerializesToNothing) {
+  const FlowLedger ledger{9, 4};
+  EXPECT_EQ(flows_to_jsonl({ledger.snapshot()}), "");
+}
+
+}  // namespace
+}  // namespace fbdcsim::telemetry

@@ -24,6 +24,7 @@
 #include "fbdcsim/faults/fault_plan.h"
 #include "fbdcsim/runtime/parallel_capture.h"
 #include "fbdcsim/runtime/thread_pool.h"
+#include "fbdcsim/telemetry/flow_ledger.h"
 #include "fbdcsim/telemetry/telemetry.h"
 #include "fbdcsim/telemetry/timeseries.h"
 #include "fbdcsim/telemetry/tracepoint.h"
@@ -39,7 +40,9 @@ using core::HostRole;
 struct ObsOutput {
   std::string timeseries_json;
   std::string tracepoints_jsonl;
+  std::string flows_jsonl;
   std::int64_t tracepoint_total{0};
+  std::int64_t flows_total{0};
 };
 
 /// Forces the runtime telemetry switch on for a test's scope (the obs layer
@@ -66,6 +69,8 @@ workload::RackSimConfig obs_config(const topology::Fleet& fleet, HostRole role,
   cfg.obs.probe_period = core::Duration::micros(20);
   cfg.obs.series_capacity = 32;
   cfg.obs.flight_recorder = 128;
+  cfg.obs.flows = true;
+  cfg.obs.flow_capacity = 512;  // small enough that eviction happens too
   return cfg;
 }
 
@@ -77,12 +82,16 @@ ObsOutput run_one(const topology::Fleet& fleet, HostRole role,
   out.timeseries_json = timeseries_to_json(result.timeseries);
   out.tracepoints_jsonl = tracepoints_to_jsonl({result.tracepoints});
   out.tracepoint_total = result.tracepoints.total;
+  out.flows_jsonl = flows_to_jsonl({result.flows});
+  out.flows_total = result.flows.total;
   return out;
 }
 
 void expect_same(const ObsOutput& baseline, const ObsOutput& got, const char* what) {
   EXPECT_EQ(baseline.timeseries_json, got.timeseries_json) << what;
   EXPECT_EQ(baseline.tracepoint_total, got.tracepoint_total) << what;
+  EXPECT_EQ(baseline.flows_total, got.flows_total) << what;
+  EXPECT_EQ(baseline.flows_jsonl, got.flows_jsonl) << "flows JSONL diverged: " << what;
   if (baseline.tracepoints_jsonl != got.tracepoints_jsonl) {
     // The flight-recorder workflow: on a differential mismatch, dump both
     // sides' last-N tracepoints so the divergence point is greppable.
@@ -108,6 +117,10 @@ TEST(ObsDifferential, BitIdenticalAcrossEngines) {
     // compares empty strings forever.
     EXPECT_GT(ref.tracepoint_total, 0) << "heavy profile produced no tracepoints";
     EXPECT_NE(ref.timeseries_json, "{\"series\":{}}");
+    // 200 ms of TCP closes transfers past the 512-record ring, so the gate
+    // covers eviction-order determinism, not just the easy no-wrap case.
+    EXPECT_GT(ref.flows_total, 512) << "flows gate never exercised eviction";
+    EXPECT_FALSE(ref.flows_jsonl.empty()) << "flows gate compares empty strings";
 #endif
     expect_same(ref, bucketed,
                 role == HostRole::kWeb ? "engines, Web" : "engines, Hadoop");
@@ -158,6 +171,24 @@ TEST(ObsDifferential, ObsOffProducesNoObservabilityOutput) {
   EXPECT_TRUE(result.timeseries.empty());
   EXPECT_TRUE(result.tracepoints.records.empty());
   EXPECT_EQ(result.tracepoints.total, 0);
+  EXPECT_TRUE(result.flows.records.empty());
+  EXPECT_EQ(result.flows.total, 0);
+}
+
+TEST(ObsDifferential, FlowsLevelRequiresOptIn) {
+  // FBDCSIM_OBS=on alone must not allocate a ledger: the flows level is its
+  // own opt-in, so dump/probe users pay nothing for the per-flow machinery.
+  TelemetryOn on;
+  const topology::Fleet fleet = workload::build_rack_experiment_fleet();
+  workload::RackSimConfig cfg = workload::default_rack_config(
+      fleet, HostRole::kWeb, core::Duration::millis(100));
+  cfg.transport = workload::Transport::kTcp;
+  cfg.obs.mode = ObsConfig::Mode::kOn;
+  ASSERT_FALSE(cfg.obs.flows);
+  workload::RackSimulation rack{fleet, cfg};
+  const workload::RackSimResult result = rack.run();
+  EXPECT_TRUE(result.flows.records.empty());
+  EXPECT_EQ(result.flows.total, 0);
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ class LoopbackSink final : public services::TrafficSink {
   void route(const SimPacket& packet) {
     if (drop_every > 0 && packet.header.payload_bytes > 0 &&
         ++data_frames_ % drop_every == 0) {
-      mux->on_dropped(packet);
+      mux->on_dropped(/*port=*/0, packet);
       return;
     }
     const SimPacket copy = packet;
